@@ -1,0 +1,55 @@
+// Ablation K: choosing the kernel budget — PCA variance (the paper's way)
+// vs silhouette analysis (the standard clustering alternative).
+//
+// Figure 3 picks the 4-15 budget range from PCA explained variance. This
+// bench runs k-means at each k and reports silhouette and Davies-Bouldin
+// scores next to the realised pruning ceiling, showing whether cluster-
+// quality metrics would have suggested the same budgets.
+#include "bench_common.hpp"
+
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+#include "ml/cluster_metrics.hpp"
+#include "ml/kmeans.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Ablation K: picking k — PCA variance vs silhouette",
+                      "Figure 3 (budget choice)");
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+
+  bench::print_row({"k", "silhouette", "davies-bouldin", "ceiling%"}, 16);
+  for (const int k : {2, 4, 6, 8, 10, 12, 15, 20}) {
+    ml::KMeansOptions options;
+    options.n_clusters = k;
+    options.seed = bench::kModelSeed;
+    ml::KMeans km(options);
+    km.fit(split.train.scores());
+
+    select::KMeansPruner pruner(bench::kModelSeed);
+    const auto configs =
+        pruner.prune(split.train, static_cast<std::size_t>(k));
+
+    bench::print_row(
+        {std::to_string(k),
+         common::format_fixed(
+             ml::silhouette_score(split.train.scores(), km.labels()), 3),
+         common::format_fixed(
+             ml::davies_bouldin_index(split.train.scores(), km.labels()), 3),
+         bench::pct(select::pruning_ceiling(split.test, configs))},
+        16);
+  }
+  std::cout << "\n(silhouette peaks / Davies-Bouldin dips where the"
+               " performance-vector\nstructure is naturally clustered;"
+               " compare against the 4-15 range the\npaper derives from"
+               " Figure 3's PCA curve)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

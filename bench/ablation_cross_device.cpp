@@ -1,0 +1,62 @@
+// Ablation D: cross-device transfer of pruned kernel sets.
+//
+// The paper motivates the whole approach with libraries that "target a
+// range of heterogeneous devices from desktop GPUs to embedded
+// accelerators". This experiment quantifies the cost of shipping one
+// device's pruned kernel set to another: for every (tuning device,
+// deployment device) pair, the decision-tree pruner selects 8 kernels on
+// the tuning device's dataset and the ceiling is evaluated on the
+// deployment device's dataset.
+#include "bench_common.hpp"
+
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Ablation D: cross-device kernel-set transfer",
+                      "Section I motivation (heterogeneous targets)");
+  const auto shapes = data::extract_all_shapes();
+  const perf::DeviceSpec devices[] = {
+      perf::DeviceSpec::amd_r9_nano(),
+      perf::DeviceSpec::integrated_gpu(),
+      perf::DeviceSpec::embedded_accelerator(),
+  };
+  const char* labels[] = {"R9Nano", "iGPU", "Embedded"};
+
+  // Build one dataset per device over the same shapes.
+  std::vector<data::PerfDataset> datasets;
+  for (const auto& device : devices) {
+    datasets.push_back(data::run_model_benchmarks(shapes, device, {}));
+  }
+
+  std::cout << "\nCeiling (geomean % of that device's optimum) of an 8-kernel"
+               " set\nselected on the row device, deployed on the column"
+               " device:\n\n";
+  bench::print_row({"tuned \\ run on", labels[0], labels[1], labels[2]});
+  select::DecisionTreePruner pruner;
+  for (std::size_t tune = 0; tune < 3; ++tune) {
+    const auto split =
+        datasets[tune].split(bench::kTrainFraction, bench::kSplitSeed);
+    const auto configs = pruner.prune(split.train, 8);
+    std::vector<std::string> row = {labels[tune]};
+    for (std::size_t deploy = 0; deploy < 3; ++deploy) {
+      const auto deploy_split =
+          datasets[deploy].split(bench::kTrainFraction, bench::kSplitSeed);
+      row.push_back(bench::pct(
+          select::pruning_ceiling(deploy_split.test, configs)));
+    }
+    bench::print_row(row);
+  }
+  std::cout << "\n(diagonal = tuned-for-target; off-diagonal loss is the"
+               " price of\nshipping one kernel set across devices — the"
+               " motivation for\nper-device automated selection)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

@@ -1,0 +1,61 @@
+// Ablation C: sensitivity of the headline results to measurement noise.
+//
+// The simulated timing harness injects lognormal run-to-run jitter (the
+// stand-in for real GPU measurement noise, see DESIGN.md). This sweep shows
+// how the Figure 2 winner statistics and the Figure 4 pruning curves react
+// as that noise grows — i.e. how much of the "long tail" of winning
+// configurations is physical versus measurement artefact.
+#include "bench_common.hpp"
+
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Ablation C: measurement-noise sensitivity",
+                      "Figures 2 and 4");
+  const auto shapes = data::extract_all_shapes();
+
+  bench::print_row({"sigma", "winners", "top_wins", "TopN@6", "DTree@6",
+                    "TopN@15", "DTree@15"});
+  for (const double sigma : {0.0, 0.01, 0.03, 0.05, 0.10}) {
+    data::RunnerOptions options;
+    options.noise_sigma = sigma;
+    const auto dataset = data::run_model_benchmarks(
+        shapes, perf::DeviceSpec::amd_r9_nano(), options);
+
+    const auto counts = dataset.optimal_counts();
+    std::size_t winners = 0;
+    std::size_t top = 0;
+    for (const auto c : counts) {
+      winners += c > 0 ? 1u : 0u;
+      top = std::max(top, c);
+    }
+
+    const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+    select::TopNPruner topn;
+    select::DecisionTreePruner dtree;
+    std::vector<std::string> row = {
+        common::format_fixed(sigma, 2), std::to_string(winners),
+        std::to_string(top)};
+    for (const std::size_t n : {std::size_t{6}, std::size_t{15}}) {
+      row.push_back(bench::pct(
+          select::pruning_ceiling(split.test, topn.prune(split.train, n))));
+      row.push_back(bench::pct(
+          select::pruning_ceiling(split.test, dtree.prune(split.train, n))));
+    }
+    // Reorder: TopN@6, DTree@6, TopN@15, DTree@15 are already appended in
+    // that order by the loop above.
+    bench::print_row(row);
+  }
+  std::cout << "\n(winners = configs optimal for at least one shape;"
+               " noise widens the tail and erodes count-based ranking)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

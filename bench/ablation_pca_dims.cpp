@@ -1,0 +1,47 @@
+// Ablation B: PCA dimensionality fed to the PCA+k-means pruner.
+//
+// The paper motivates PCA as a fix for k-means' difficulty with
+// high-dimensional data but does not report how the projection
+// dimensionality affects the pruning quality; this sweep fills that gap.
+#include "bench_common.hpp"
+
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Ablation B: PCA dimensionality for PCA+k-means",
+                      "Section III (PCA + k-means pruner)");
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+
+  bench::print_row({"pca_dims", "N=6", "N=8", "N=12"});
+  for (const int dims : {2, 4, 8, 16, 32, 64}) {
+    std::vector<std::string> row = {std::to_string(dims)};
+    for (const std::size_t n : {std::size_t{6}, std::size_t{8}, std::size_t{12}}) {
+      select::PcaKMeansPruner pruner(dims, bench::kModelSeed);
+      const auto configs = pruner.prune(split.train, n);
+      row.push_back(bench::pct(select::pruning_ceiling(split.test, configs)));
+    }
+    bench::print_row(row);
+  }
+  // Reference: plain k-means on the full 640-dim vectors.
+  {
+    std::vector<std::string> row = {"full(640)"};
+    for (const std::size_t n : {std::size_t{6}, std::size_t{8}, std::size_t{12}}) {
+      select::KMeansPruner pruner(bench::kModelSeed);
+      const auto configs = pruner.prune(split.train, n);
+      row.push_back(bench::pct(select::pruning_ceiling(split.test, configs)));
+    }
+    bench::print_row(row);
+  }
+  std::cout << "\n(values are geomean % of optimal on the test set)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

@@ -1,0 +1,72 @@
+// Ablation E: budgeted parameter-search methods vs brute force.
+//
+// The paper brute-forces all 640 configurations and defers "more
+// intelligent parameter search methods" (basin hopping, evolutionary
+// algorithms, per the Kernel Tuner discussion it cites) to future work.
+// This bench runs those methods on the same space: for a set of
+// representative shapes and budgets, how close does each method get to the
+// exhaustive optimum?
+#include "bench_common.hpp"
+
+#include "perfmodel/cost_model.hpp"
+#include "tune/search.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Ablation E: budgeted search vs brute force",
+                      "Section V future work / Section II");
+  const perf::CostModel model(perf::DeviceSpec::amd_r9_nano());
+  const gemm::GemmShape shapes[] = {
+      {3136, 576, 128},   // conv mid
+      {50176, 1152, 256}, // conv large
+      {16, 4096, 1000},   // FC batch-16
+      {784, 128, 512},    // conv small
+  };
+
+  bench::print_row({"shape", "budget", "random", "annealing", "evolution"},
+                   16);
+  for (const auto& shape : shapes) {
+    const tune::Objective objective = [&](const gemm::KernelConfig& config) {
+      return model.predict_seconds(config, shape);
+    };
+    const auto truth = tune::exhaustive_search(objective);
+    for (const std::size_t budget : {std::size_t{20}, std::size_t{60},
+                                     std::size_t{160}}) {
+      // Average achieved-vs-optimal over seeds (achieved = optimum/found,
+      // so 100% is perfect).
+      double random_sum = 0, anneal_sum = 0, evo_sum = 0;
+      const int seeds = 5;
+      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        random_sum +=
+            truth.best_value /
+            tune::random_search(objective, budget, seed).best_value;
+        tune::AnnealingOptions aopts;
+        aopts.budget = budget;
+        aopts.seed = seed;
+        anneal_sum += truth.best_value /
+                      tune::simulated_annealing(objective, aopts).best_value;
+        tune::EvolutionOptions eopts;
+        eopts.budget = budget;
+        eopts.seed = seed;
+        evo_sum += truth.best_value /
+                   tune::evolutionary_search(objective, eopts).best_value;
+      }
+      bench::print_row({shape.to_string(), std::to_string(budget),
+                        bench::pct(random_sum / seeds),
+                        bench::pct(anneal_sum / seeds),
+                        bench::pct(evo_sum / seeds)},
+                       16);
+    }
+  }
+  std::cout << "\n(values are % of the exhaustive-search optimum achieved by"
+               " the\nbudgeted method, averaged over 5 seeds; brute force ="
+               " 640 evals)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

@@ -1,0 +1,50 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every binary regenerates its figure or table from scratch with fixed
+// seeds, prints the series/rows the paper reports to stdout, and (where
+// useful) drops a CSV next to the binary under bench_out/.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "dataset/benchmark_runner.hpp"
+
+namespace aks::bench {
+
+/// Seeds shared by every reproduction binary so their numbers agree.
+inline constexpr std::uint64_t kSplitSeed = 1;
+inline constexpr std::uint64_t kModelSeed = 0;
+inline constexpr double kTrainFraction = 0.8;
+
+/// The dataset of the paper's Section II.A, built with default options
+/// (AMD R9 Nano model, 172 shapes, 640 configurations, seeded noise).
+inline data::PerfDataset paper_dataset() {
+  return data::build_paper_dataset();
+}
+
+/// Prints a header line for a reproduction binary.
+inline void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << " of Lawson 2020, arXiv:2003.06795)\n"
+            << "==================================================================\n";
+}
+
+/// Prints one row of a fixed-width table.
+inline void print_row(const std::vector<std::string>& cells,
+                      std::size_t width = 14) {
+  for (const auto& cell : cells) {
+    std::cout << common::pad_left(cell, width);
+  }
+  std::cout << "\n";
+}
+
+inline std::string pct(double fraction, int decimals = 2) {
+  return common::format_fixed(100.0 * fraction, decimals);
+}
+
+}  // namespace aks::bench

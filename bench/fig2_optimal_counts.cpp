@@ -1,0 +1,66 @@
+// Figure 2: the number of times each configuration achieves optimal
+// performance across the dataset.
+//
+// Paper headline: one configuration is best in 32 of 170 cases — more than
+// three times as often as the next — yet 58 distinct configurations are
+// best at least once (the long tail that makes pruning hard).
+#include "bench_common.hpp"
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "gemm/config.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Figure 2: optimal-configuration counts", "Figure 2");
+  const auto dataset = bench::paper_dataset();
+  const auto counts = dataset.optimal_counts();
+
+  std::vector<double> counts_d(counts.begin(), counts.end());
+  const auto order = common::argsort_descending(counts_d);
+
+  std::size_t winners = 0;
+  for (const auto c : counts) winners += c > 0 ? 1u : 0u;
+
+  std::cout << "\nTop 20 configurations by number of shapes won ("
+            << dataset.num_shapes() << " shapes total):\n";
+  bench::print_row({"config", "wins", "mean%"});
+  const auto means = dataset.mean_scores();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const std::size_t c = order[i];
+    if (counts[c] == 0) break;
+    bench::print_row({gemm::enumerate_configs()[c].name(),
+                      std::to_string(counts[c]), bench::pct(means[c])});
+  }
+
+  // Win-count histogram (the figure's bar heights).
+  common::Matrix csv(winners, 2);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < order.size() && counts[order[i]] > 0; ++i) {
+    csv(row, 0) = static_cast<double>(order[i]);
+    csv(row, 1) = static_cast<double>(counts[order[i]]);
+    ++row;
+  }
+  common::write_matrix_csv("bench_out/fig2_optimal_counts.csv",
+                           {"config_index", "wins"}, csv, 0);
+
+  const std::size_t top = counts[order[0]];
+  const std::size_t second = counts[order[1]];
+  std::cout << "\nClaims checked against the paper:\n"
+            << "  distinct configurations optimal at least once: " << winners
+            << " (paper: 58)\n"
+            << "  most-winning configuration wins " << top << " shapes; next "
+            << second << " (paper: 32, with the top >3x the next)\n"
+            << "  => the long tail of specialised winners is reproduced;\n"
+            << "     the dominance of the single best configuration is\n"
+            << "     weaker in the simulated dataset (see EXPERIMENTS.md).\n"
+            << "\nFull histogram written to bench_out/fig2_optimal_counts.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

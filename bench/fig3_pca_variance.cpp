@@ -1,0 +1,57 @@
+// Figure 3: percentage of dataset variance explained by each PCA component
+// of the normalised-performance vectors.
+//
+// Paper: the first 4 components account for over 80% of the variance, 8 for
+// 90% and 15 for 95% — which is how the paper picks the 4..15 range of
+// kernel budgets examined in Figure 4.
+#include "bench_common.hpp"
+
+#include "common/csv.hpp"
+#include "ml/pca.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Figure 3: PCA explained variance", "Figure 3");
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+
+  ml::Pca pca;
+  pca.fit(split.train.scores());
+  const auto& ratios = pca.explained_variance_ratio();
+
+  std::cout << "\nExplained variance by component (first 20 of "
+            << ratios.size() << "):\n";
+  bench::print_row({"component", "ratio%", "cumulative%"});
+  double cumulative = 0.0;
+  common::Matrix csv(ratios.size(), 3);
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    cumulative += ratios[i];
+    csv(i, 0) = static_cast<double>(i + 1);
+    csv(i, 1) = ratios[i];
+    csv(i, 2) = cumulative;
+    if (i < 20) {
+      bench::print_row({std::to_string(i + 1), bench::pct(ratios[i]),
+                        bench::pct(cumulative)});
+    }
+  }
+  common::write_matrix_csv("bench_out/fig3_pca_variance.csv",
+                           {"component", "ratio", "cumulative"}, csv, 6);
+
+  std::cout << "\nClaims checked against the paper:\n"
+            << "  components for 80% of variance: "
+            << pca.components_for_variance(0.80) << " (paper: 4)\n"
+            << "  components for 90% of variance: "
+            << pca.components_for_variance(0.90) << " (paper: 8)\n"
+            << "  components for 95% of variance: "
+            << pca.components_for_variance(0.95) << " (paper: 15)\n"
+            << "  => this range motivates examining kernel budgets of 4-15.\n"
+            << "\nFull curve written to bench_out/fig3_pca_variance.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

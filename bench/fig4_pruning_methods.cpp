@@ -1,0 +1,55 @@
+// Figure 4: performance of each configuration-pruning technique as a
+// percentage of the optimal obtainable performance, for kernel budgets 4-15.
+//
+// The metric is the geometric mean over the *test* shapes of the best score
+// achievable when the library only ships the selected configurations. Paper
+// observations: the clustering methods beat the naive top-N count ranking
+// when the budget is very limited; the decision tree and PCA+k-means reach
+// ~95% by 6 configurations; everything converges near 95% at 15.
+#include "bench_common.hpp"
+
+#include "common/csv.hpp"
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Figure 4: pruning-technique comparison", "Figure 4");
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+  std::cout << "train/test split: " << split.train.num_shapes() << "/"
+            << split.test.num_shapes() << " shapes (paper: 136/34)\n\n";
+
+  const auto pruners = select::all_pruners(bench::kModelSeed);
+  std::vector<std::string> header = {"N"};
+  for (const auto& pruner : pruners) header.push_back(pruner->name());
+  bench::print_row(header);
+
+  common::Matrix csv(12, pruners.size() + 1);
+  for (std::size_t n = 4; n <= 15; ++n) {
+    std::vector<std::string> row = {std::to_string(n)};
+    csv(n - 4, 0) = static_cast<double>(n);
+    for (std::size_t p = 0; p < pruners.size(); ++p) {
+      const auto configs = pruners[p]->prune(split.train, n);
+      const double ceiling = select::pruning_ceiling(split.test, configs);
+      row.push_back(bench::pct(ceiling));
+      csv(n - 4, p + 1) = ceiling;
+    }
+    bench::print_row(row);
+  }
+  common::write_matrix_csv(
+      "bench_out/fig4_pruning_methods.csv",
+      {"n", "topn", "kmeans", "hdbscan", "pca_kmeans", "dtree"}, csv, 6);
+
+  std::cout << "\n(values are geomean % of the absolute optimum on the test"
+               " set; 100% = the best of all 640 kernels for every shape)\n"
+            << "Full sweep written to bench_out/fig4_pruning_methods.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

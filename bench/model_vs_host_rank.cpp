@@ -1,0 +1,65 @@
+// Model-vs-host rank check: does the analytic GPU model order kernels the
+// way REAL execution on this machine's CPU does?
+//
+// The expected answer is "only weakly" — and that is the point. DESIGN.md
+// argues the dataset must come from a GPU-mechanism model rather than host
+// timings precisely because a CPU's cache hierarchy ranks the 640
+// configurations differently from a GPU's occupancy/coalescing trade-offs.
+// This binary measures that divergence: Spearman rank correlation between
+// host wall-clock times and model predictions over a config sample, next to
+// the host-vs-host control (two independent timing runs).
+#include "bench_common.hpp"
+
+#include "common/stats.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace aks {
+namespace {
+
+int run() {
+  bench::print_banner("Model vs host-CPU kernel ranking",
+                      "DESIGN.md substitution rationale");
+  const perf::CostModel model(perf::DeviceSpec::amd_r9_nano());
+
+  // A spread of 32 configurations (every 20th of the 640).
+  std::vector<gemm::KernelConfig> sample;
+  for (std::size_t c = 0; c < 640; c += 20) {
+    sample.push_back(gemm::enumerate_configs()[c]);
+  }
+
+  const gemm::GemmShape shapes[] = {{96, 96, 96}, {256, 48, 64}};
+  bench::print_row({"shape", "host-vs-host", "model-vs-host"}, 16);
+  for (const auto& shape : shapes) {
+    std::vector<double> host_a;
+    std::vector<double> host_b;
+    std::vector<double> modelled;
+    for (const auto& config : sample) {
+      // Best-of-3 to tame scheduler noise on the 1-core builder.
+      double ta = 1e300;
+      double tb = 1e300;
+      for (int i = 0; i < 3; ++i) {
+        ta = std::min(ta, data::time_host_run(config, shape));
+        tb = std::min(tb, data::time_host_run(config, shape));
+      }
+      host_a.push_back(ta);
+      host_b.push_back(tb);
+      modelled.push_back(model.predict_seconds(config, shape));
+    }
+    bench::print_row(
+        {shape.to_string(),
+         common::format_fixed(common::spearman_correlation(host_a, host_b), 3),
+         common::format_fixed(common::spearman_correlation(modelled, host_a),
+                              3)},
+        16);
+  }
+  std::cout << "\n(host-vs-host is the repeatability ceiling; the gap to"
+               " model-vs-host\nis the CPU/GPU divergence that rules out host"
+               " timings as a stand-in\nfor the paper's GPU dataset — see"
+               " DESIGN.md)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

@@ -1,0 +1,51 @@
+// Deployment: emit a dependency-free C++ kernel selector.
+//
+// Section IV of the paper argues decision trees are the right deployment
+// vehicle because they compile down to nested if statements. This example
+// runs the full pipeline and prints the generated translation unit — paste
+// it into a compute library and call select_gemm_kernel(m, k, n) with zero
+// runtime dependencies on the tuning stack.
+//
+// Build & run:  ./build/examples/generate_selector [num_kernels]
+//               (writes the generated code to stdout)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/codegen.hpp"
+#include "core/pipeline.hpp"
+#include "dataset/benchmark_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aks;
+
+  std::size_t num_kernels = 6;
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 2 || parsed > 640) {
+      std::cerr << "usage: " << argv[0] << " [num_kernels in 2..640]\n";
+      return 1;
+    }
+    num_kernels = static_cast<std::size_t>(parsed);
+  }
+
+  const auto dataset = data::build_paper_dataset();
+  select::PipelineOptions options;
+  options.num_configs = num_kernels;
+  options.prune_method = select::PruneMethod::kDecisionTree;
+  options.selector_method = select::SelectorMethod::kDecisionTree;
+  const auto result = select::run_pipeline(dataset, options);
+
+  const auto* tree =
+      dynamic_cast<const select::DecisionTreeSelector*>(result.selector.get());
+  if (tree == nullptr) {
+    std::cerr << "pipeline did not produce a decision-tree selector\n";
+    return 1;
+  }
+
+  std::cerr << "// Selector trained on " << dataset.num_shapes()
+            << " shapes; achieves " << 100.0 * result.achieved
+            << "% of optimal on held-out shapes (ceiling "
+            << 100.0 * result.ceiling << "%).\n";
+  std::cout << select::generate_selector_code(*tree);
+  return 0;
+}

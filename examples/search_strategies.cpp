@@ -1,0 +1,68 @@
+// Scenario: tuning one kernel with a limited benchmarking budget.
+//
+// A developer has a new GEMM shape and can afford ~60 benchmark runs, not
+// 640. This example runs the budgeted search strategies against the device
+// model, prints what each found and how it compares to brute force, and
+// shows the best-so-far trajectory of the winner.
+//
+// Build & run:  ./build/examples/search_strategies [M K N] [budget]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "tune/search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aks;
+
+  gemm::GemmShape shape{3136, 576, 128};
+  std::size_t budget = 60;
+  if (argc >= 4) {
+    shape.m = std::strtoull(argv[1], nullptr, 10);
+    shape.k = std::strtoull(argv[2], nullptr, 10);
+    shape.n = std::strtoull(argv[3], nullptr, 10);
+  }
+  if (argc >= 5) budget = std::strtoull(argv[4], nullptr, 10);
+
+  const perf::CostModel model(perf::DeviceSpec::amd_r9_nano());
+  const tune::Objective objective = [&](const gemm::KernelConfig& config) {
+    return model.predict_seconds(config, shape);
+  };
+
+  std::cout << "Tuning GEMM " << shape.to_string() << " with a budget of "
+            << budget << " evaluations (space: 640)\n\n";
+
+  const auto truth = tune::exhaustive_search(objective);
+  std::cout << common::pad_right("brute force (640 evals):", 28)
+            << truth.best.name() << "  "
+            << truth.best_value * 1e6 << " us\n";
+
+  const auto report = [&](const char* label, const tune::SearchResult& r) {
+    std::cout << common::pad_right(std::string(label) + " (" +
+                                       std::to_string(r.evaluations) +
+                                       " evals):",
+                                   28)
+              << r.best.name() << "  " << r.best_value * 1e6 << " us  ("
+              << 100.0 * truth.best_value / r.best_value << "% of optimal)\n";
+  };
+
+  report("random search", tune::random_search(objective, budget, 1));
+  tune::AnnealingOptions aopts;
+  aopts.budget = budget;
+  aopts.seed = 1;
+  report("simulated annealing", tune::simulated_annealing(objective, aopts));
+  tune::EvolutionOptions eopts;
+  eopts.budget = budget;
+  eopts.seed = 1;
+  const auto evolved = tune::evolutionary_search(objective, eopts);
+  report("evolutionary", evolved);
+
+  std::cout << "\nEvolutionary best-so-far trajectory (us):\n  ";
+  for (std::size_t i = 0; i < evolved.trajectory.size(); i += 8) {
+    std::cout << common::format_fixed(evolved.trajectory[i] * 1e6, 1) << " ";
+  }
+  std::cout << "-> " << common::format_fixed(evolved.best_value * 1e6, 1)
+            << "\n";
+  return 0;
+}

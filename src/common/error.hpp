@@ -1,0 +1,56 @@
+// Error handling primitives shared by every AKS module.
+//
+// AKS uses exceptions for recoverable errors at API boundaries (file I/O,
+// invalid user-supplied configuration) and assert-style checks for internal
+// invariants. Both funnel through `aks::common::Error` so callers can catch
+// a single type.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aks::common {
+
+/// Exception type thrown by all AKS libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* expr, const std::string& msg,
+                                     const std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": check failed";
+  if (expr != nullptr) os << " (" << expr << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Throws `Error` with location info when `cond` is false.
+/// Usage: AKS_CHECK(n > 0, "need at least one sample, got " << n);
+#define AKS_CHECK(cond, ...)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream aks_check_os_;                                    \
+      aks_check_os_ << __VA_ARGS__;                                        \
+      ::aks::common::detail::throw_error(#cond, aks_check_os_.str(),       \
+                                         std::source_location::current()); \
+    }                                                                      \
+  } while (false)
+
+/// Unconditional failure with message.
+#define AKS_FAIL(...)                                                      \
+  do {                                                                     \
+    std::ostringstream aks_check_os_;                                      \
+    aks_check_os_ << __VA_ARGS__;                                          \
+    ::aks::common::detail::throw_error(nullptr, aks_check_os_.str(),       \
+                                       std::source_location::current());   \
+  } while (false)
+
+}  // namespace aks::common

@@ -1,0 +1,34 @@
+// Leveled stderr logging. Deliberately tiny: the benches and examples print
+// their primary results to stdout; the log is for progress and diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aks::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits a single log line to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+#define AKS_LOG(level, ...)                                        \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::aks::common::log_level())) {            \
+      std::ostringstream aks_log_os_;                              \
+      aks_log_os_ << __VA_ARGS__;                                  \
+      ::aks::common::log_message(level, aks_log_os_.str());        \
+    }                                                              \
+  } while (false)
+
+#define AKS_DEBUG(...) AKS_LOG(::aks::common::LogLevel::kDebug, __VA_ARGS__)
+#define AKS_INFO(...) AKS_LOG(::aks::common::LogLevel::kInfo, __VA_ARGS__)
+#define AKS_WARN(...) AKS_LOG(::aks::common::LogLevel::kWarn, __VA_ARGS__)
+#define AKS_ERROR(...) AKS_LOG(::aks::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace aks::common

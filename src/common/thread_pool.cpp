@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace aks::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    AKS_CHECK(!stopping_, "enqueue on stopped thread pool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, num_threads());
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  Shared shared;
+  shared.remaining.store(chunks, std::memory_order_relaxed);
+
+  const std::size_t per_chunk = (count + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(count, begin + per_chunk);
+    enqueue([&shared, &fn, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(shared.error_mutex);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+      if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(shared.done_mutex);
+        shared.done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock(shared.done_mutex);
+  shared.done_cv.wait(lock, [&shared] {
+    return shared.remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace aks::common

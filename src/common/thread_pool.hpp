@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// Used by the ND-range executor (one task per work-group chunk) and the
+// benchmark runner. Following the Core Guidelines concurrency rules, tasks
+// must not share mutable state: parallel_for hands each invocation a
+// distinct index range and joins before returning, so lifetimes are simple
+// and no synchronisation is needed inside user code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aks::common {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), partitioned into contiguous
+  /// chunks across the workers. Blocks until all invocations complete.
+  /// Exceptions from `fn` are captured and the first one is rethrown.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace aks::common

@@ -1,0 +1,32 @@
+// Convolution as GEMM via the im2col transformation.
+//
+// im2col lays every receptive field out as a row of a patch matrix
+// P[batch*out_h*out_w, kh*kw*in_c]; the convolution is then
+// O = P * F with the filter viewed as F[kh*kw*in_c, out_c] — exactly the
+// (M, K, N) triple the dataset layer extracts for conv layers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "conv/direct.hpp"
+#include "gemm/config.hpp"
+#include "gemm/shape.hpp"
+#include "syclrt/queue.hpp"
+
+namespace aks::conv {
+
+/// The GEMM this convolution lowers to (matches data::im2col_shape).
+[[nodiscard]] gemm::GemmShape im2col_gemm_shape(const ConvShape& shape);
+
+/// Expands the input into the patch matrix (zero padding outside).
+[[nodiscard]] std::vector<float> im2col_transform(std::span<const float> input,
+                                                  const ConvShape& shape);
+
+/// Runs the convolution as im2col + a tiled GEMM with `config` on `queue`.
+/// Output layout matches direct_conv2d.
+void im2col_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                   std::span<const float> input, std::span<const float> filter,
+                   std::span<float> output, const ConvShape& shape);
+
+}  // namespace aks::conv

@@ -1,0 +1,186 @@
+#include "conv/winograd.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "gemm/registry.hpp"
+
+namespace aks::conv {
+
+namespace {
+
+/// Local widening cast for index arithmetic on validated dimensions.
+inline std::size_t zu(int v) { return static_cast<std::size_t>(v); }
+
+/// V = B^T d B for one 4x4 input tile (fully unrolled per the matrices in
+/// the header comment).
+void input_transform(const float d[4][4], float v[4][4]) {
+  float t[4][4];  // B^T d
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {  // (B^T d) B
+    v[r][0] = t[r][0] - t[r][2];
+    v[r][1] = t[r][1] + t[r][2];
+    v[r][2] = t[r][2] - t[r][1];
+    v[r][3] = t[r][1] - t[r][3];
+  }
+}
+
+/// U = G g G^T for one 3x3 filter.
+void filter_transform(const float g[3][3], float u[4][4]) {
+  float t[4][3];  // G g
+  for (int c = 0; c < 3; ++c) {
+    t[0][c] = g[0][c];
+    t[1][c] = 0.5f * (g[0][c] + g[1][c] + g[2][c]);
+    t[2][c] = 0.5f * (g[0][c] - g[1][c] + g[2][c]);
+    t[3][c] = g[2][c];
+  }
+  for (int r = 0; r < 4; ++r) {  // (G g) G^T
+    u[r][0] = t[r][0];
+    u[r][1] = 0.5f * (t[r][0] + t[r][1] + t[r][2]);
+    u[r][2] = 0.5f * (t[r][0] - t[r][1] + t[r][2]);
+    u[r][3] = t[r][2];
+  }
+}
+
+/// Y = A^T m A for one 4x4 element-product tile; writes a 2x2 output tile.
+void output_transform(const float m[4][4], float y[2][2]) {
+  float t[2][4];  // A^T m
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = m[0][c] + m[1][c] + m[2][c];
+    t[1][c] = m[1][c] - m[2][c] - m[3][c];
+  }
+  for (int r = 0; r < 2; ++r) {  // (A^T m) A
+    y[r][0] = t[r][0] + t[r][1] + t[r][2];
+    y[r][1] = t[r][1] - t[r][2] - t[r][3];
+  }
+}
+
+}  // namespace
+
+bool winograd_applicable(const ConvShape& shape) {
+  return shape.kernel == 3 && shape.stride == 1;
+}
+
+gemm::GemmShape winograd_gemm_shape(const ConvShape& shape) {
+  const auto tiles_h = static_cast<std::size_t>((shape.out_height() + 1) / 2);
+  const auto tiles_w = static_cast<std::size_t>((shape.out_width() + 1) / 2);
+  gemm::GemmShape out;
+  out.m = static_cast<std::size_t>(shape.batch) * tiles_h * tiles_w;
+  out.k = static_cast<std::size_t>(shape.in_channels);
+  out.n = static_cast<std::size_t>(shape.out_channels);
+  return out;
+}
+
+void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                     std::span<const float> input,
+                     std::span<const float> filter, std::span<float> output,
+                     const ConvShape& shape) {
+  AKS_CHECK(winograd_applicable(shape),
+            "Winograd F(2x2,3x3) requires a 3x3 stride-1 convolution");
+  AKS_CHECK(input.size() == shape.input_size(), "input size mismatch");
+  AKS_CHECK(filter.size() == shape.filter_size(), "filter size mismatch");
+  AKS_CHECK(output.size() == shape.output_size(), "output size mismatch");
+
+  const auto mm = winograd_gemm_shape(shape);
+  const std::size_t tiles = mm.m;
+  const auto in_c = static_cast<std::size_t>(shape.in_channels);
+  const auto out_c = static_cast<std::size_t>(shape.out_channels);
+  const int tiles_h = (shape.out_height() + 1) / 2;
+  const int tiles_w = (shape.out_width() + 1) / 2;
+
+  // --- Filter transform: U packed as [pos][c, f], pos = 4x4 transform
+  // position, contiguous per pos so the multiplies run as one batched GEMM.
+  const std::size_t u_plane = in_c * out_c;
+  std::vector<float> u(16 * u_plane, 0.0f);
+  for (std::size_t c = 0; c < in_c; ++c) {
+    for (std::size_t f = 0; f < out_c; ++f) {
+      float g[3][3];
+      for (int ky = 0; ky < 3; ++ky)
+        for (int kx = 0; kx < 3; ++kx)
+          g[ky][kx] = filter[((zu(ky) * 3 + zu(kx)) * in_c + c) * out_c + f];
+      float ut[4][4];
+      filter_transform(g, ut);
+      for (int pos = 0; pos < 16; ++pos) {
+        u[zu(pos) * u_plane + c * out_c + f] = ut[pos / 4][pos % 4];
+      }
+    }
+  }
+
+  // --- Input transform: V packed as [pos][tile, c]. -----------------------
+  const std::size_t v_plane = tiles * in_c;
+  std::vector<float> v(16 * v_plane, 0.0f);
+  const auto in_w = static_cast<std::size_t>(shape.in_width);
+  for (int n = 0; n < shape.batch; ++n) {
+    const std::size_t in_base =
+        zu(n) * zu(shape.in_height) * zu(shape.in_width) * in_c;
+    for (int ty = 0; ty < tiles_h; ++ty) {
+      for (int tx = 0; tx < tiles_w; ++tx) {
+        const std::size_t tile =
+            (zu(n) * zu(tiles_h) + zu(ty)) * zu(tiles_w) + zu(tx);
+        for (std::size_t c = 0; c < in_c; ++c) {
+          float d[4][4];
+          for (int dy = 0; dy < 4; ++dy) {
+            const int in_y = ty * 2 + dy - shape.padding;
+            for (int dx = 0; dx < 4; ++dx) {
+              const int in_x = tx * 2 + dx - shape.padding;
+              const bool inside = in_y >= 0 && in_y < shape.in_height &&
+                                  in_x >= 0 && in_x < shape.in_width;
+              d[dy][dx] =
+                  inside ? input[in_base + (zu(in_y) * in_w + zu(in_x)) * in_c + c]
+                         : 0.0f;
+            }
+          }
+          float vt[4][4];
+          input_transform(d, vt);
+          for (int pos = 0; pos < 16; ++pos) {
+            v[zu(pos) * v_plane + tile * in_c + c] = vt[pos / 4][pos % 4];
+          }
+        }
+      }
+    }
+  }
+
+  // --- The sixteen multiplies M[pos] = V[pos] * U[pos], as ONE batched
+  // launch over the packed planes.
+  const std::size_t m_plane = tiles * out_c;
+  std::vector<float> m(16 * m_plane, 0.0f);
+  gemm::launch_batched_gemm(queue, config, v, u, m, mm, 16);
+
+  // --- Output transform. ---------------------------------------------------
+  const int oh = shape.out_height();
+  const int ow = shape.out_width();
+  for (int n = 0; n < shape.batch; ++n) {
+    const std::size_t out_base = zu(n) * zu(oh) * zu(ow) * out_c;
+    for (int ty = 0; ty < tiles_h; ++ty) {
+      for (int tx = 0; tx < tiles_w; ++tx) {
+        const std::size_t tile =
+            (zu(n) * zu(tiles_h) + zu(ty)) * zu(tiles_w) + zu(tx);
+        for (std::size_t f = 0; f < out_c; ++f) {
+          float mt[4][4];
+          for (int pos = 0; pos < 16; ++pos) {
+            mt[pos / 4][pos % 4] = m[zu(pos) * m_plane + tile * out_c + f];
+          }
+          float y[2][2];
+          output_transform(mt, y);
+          for (int dy = 0; dy < 2; ++dy) {
+            const int out_y = ty * 2 + dy;
+            if (out_y >= oh) continue;
+            for (int dx = 0; dx < 2; ++dx) {
+              const int out_x = tx * 2 + dx;
+              if (out_x >= ow) continue;
+              output[out_base + (zu(out_y) * zu(ow) + zu(out_x)) * out_c + f] =
+                  y[dy][dx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aks::conv

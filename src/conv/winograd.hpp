@@ -1,0 +1,57 @@
+// Convolution as GEMM via the Winograd F(2x2, 3x3) transformation.
+//
+// For a dense 3x3 stride-1 convolution the Winograd algorithm lowers each
+// batch of 2x2 output tiles to sixteen independent GEMMs of identical shape
+// [tiles x in_c] * [in_c x out_c] — the second family of GEMM shapes the
+// dataset layer extracts. Transform matrices (Lavin & Gray notation):
+//
+//   B^T = | 1  0 -1  0 |   G = | 1    0    0  |   A^T = | 1 1  1  0 |
+//         | 0  1  1  0 |       | 1/2  1/2  1/2|         | 0 1 -1 -1 |
+//         | 0 -1  1  0 |       | 1/2 -1/2  1/2|
+//         | 0  1  0 -1 |       | 0    0    1  |
+//
+//   V = B^T d B (input tiles), U = G g G^T (filter), Y = A^T (U .* V) A.
+#pragma once
+
+#include <span>
+
+#include "conv/direct.hpp"
+#include "gemm/config.hpp"
+#include "gemm/shape.hpp"
+#include "syclrt/queue.hpp"
+
+namespace aks::conv {
+
+/// True when the Winograd path supports the convolution (3x3, stride 1).
+[[nodiscard]] bool winograd_applicable(const ConvShape& shape);
+
+/// Shape of each of the sixteen batched GEMMs (matches
+/// data::winograd_shape).
+[[nodiscard]] gemm::GemmShape winograd_gemm_shape(const ConvShape& shape);
+
+/// Runs the convolution via Winograd F(2x2, 3x3), executing the sixteen
+/// multiplies with the tiled GEMM kernel `config`. Output layout matches
+/// direct_conv2d. Throws when the shape is not applicable.
+void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                     std::span<const float> input,
+                     std::span<const float> filter, std::span<float> output,
+                     const ConvShape& shape);
+
+// --- F(4x4, 3x3) extension -------------------------------------------------
+// Larger output tiles (4x4 from 6x6 input tiles, 36 multiplies) cut the
+// multiply count by up to 4x at the price of more transform work and less
+// numerical headroom. Not part of the paper's dataset; the ConvEngine
+// considers it as a third lowering.
+
+/// Shape of each of the thirty-six F(4x4,3x3) multiplies:
+/// M = batch * ceil(out_h/4) * ceil(out_w/4), K = in_c, N = out_c.
+[[nodiscard]] gemm::GemmShape winograd4_gemm_shape(const ConvShape& shape);
+
+/// Runs the convolution via Winograd F(4x4, 3x3) (same applicability rules
+/// as F(2x2, 3x3): dense 3x3, stride 1).
+void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                      std::span<const float> input,
+                      std::span<const float> filter, std::span<float> output,
+                      const ConvShape& shape);
+
+}  // namespace aks::conv

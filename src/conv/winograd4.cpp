@@ -1,0 +1,206 @@
+// Winograd F(4x4, 3x3): 6x6 input tiles, 4x4 output tiles, 36 multiplies.
+//
+// Transform matrices (Lavin & Gray, "Fast Algorithms for Convolutional
+// Neural Networks"):
+//
+//         | 4  0 -5  0  1  0 |        | 1/4    0     0   |
+//         | 0 -4 -4  1  1  0 |        | -1/6 -1/6  -1/6  |
+//   B^T = | 0  4 -4 -1  1  0 |    G = | -1/6  1/6  -1/6  |
+//         | 0 -2 -1  2  1  0 |        | 1/24  1/12  1/6  |
+//         | 0  2 -1 -2  1  0 |        | 1/24 -1/12  1/6  |
+//         | 0  4  0 -5  0  1 |        |  0     0     1   |
+//
+//         | 1 1  1 1  1 0 |
+//   A^T = | 0 1 -1 2 -2 0 |
+//         | 0 1  1 4  4 0 |
+//         | 0 1 -1 8 -8 1 |
+//
+// Generic small-matrix transforms are used instead of hand-unrolling —
+// clearer, and this path is an extension rather than the benchmarked
+// kernel itself.
+#include <vector>
+
+#include "common/error.hpp"
+#include "conv/winograd.hpp"
+#include "gemm/registry.hpp"
+
+namespace aks::conv {
+
+namespace {
+
+inline std::size_t zu(int v) { return static_cast<std::size_t>(v); }
+
+constexpr double kBT[6][6] = {
+    {4, 0, -5, 0, 1, 0},  {0, -4, -4, 1, 1, 0}, {0, 4, -4, -1, 1, 0},
+    {0, -2, -1, 2, 1, 0}, {0, 2, -1, -2, 1, 0}, {0, 4, 0, -5, 0, 1},
+};
+
+constexpr double kG[6][3] = {
+    {1.0 / 4, 0, 0},
+    {-1.0 / 6, -1.0 / 6, -1.0 / 6},
+    {-1.0 / 6, 1.0 / 6, -1.0 / 6},
+    {1.0 / 24, 1.0 / 12, 1.0 / 6},
+    {1.0 / 24, -1.0 / 12, 1.0 / 6},
+    {0, 0, 1},
+};
+
+constexpr double kAT[4][6] = {
+    {1, 1, 1, 1, 1, 0},
+    {0, 1, -1, 2, -2, 0},
+    {0, 1, 1, 4, 4, 0},
+    {0, 1, -1, 8, -8, 1},
+};
+
+/// out[R x C2] = L[R x C1] * in[C1 x C2] * L2^T where the caller expresses
+/// both steps explicitly; here: t = M * d (R1xC * CxC2).
+template <std::size_t R, std::size_t C, std::size_t C2>
+void matmul_small(const double (&m)[R][C], const float (&in)[C][C2],
+                  float (&out)[R][C2]) {
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c2 = 0; c2 < C2; ++c2) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < C; ++c) acc += m[r][c] * in[c][c2];
+      out[r][c2] = static_cast<float>(acc);
+    }
+  }
+}
+
+/// Same, with the fixed matrix applied from the right as its transpose:
+/// out = in * M^T   (in[R2 x C], M[R x C]).
+template <std::size_t R2, std::size_t C, std::size_t R>
+void matmul_small_rt(const float (&in)[R2][C], const double (&m)[R][C],
+                     float (&out)[R2][R]) {
+  for (std::size_t r2 = 0; r2 < R2; ++r2) {
+    for (std::size_t r = 0; r < R; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < C; ++c) acc += in[r2][c] * m[r][c];
+      out[r2][r] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+gemm::GemmShape winograd4_gemm_shape(const ConvShape& shape) {
+  const auto tiles_h = zu((shape.out_height() + 3) / 4);
+  const auto tiles_w = zu((shape.out_width() + 3) / 4);
+  gemm::GemmShape out;
+  out.m = zu(shape.batch) * tiles_h * tiles_w;
+  out.k = zu(shape.in_channels);
+  out.n = zu(shape.out_channels);
+  return out;
+}
+
+void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                      std::span<const float> input,
+                      std::span<const float> filter, std::span<float> output,
+                      const ConvShape& shape) {
+  AKS_CHECK(winograd_applicable(shape),
+            "Winograd F(4x4,3x3) requires a 3x3 stride-1 convolution");
+  AKS_CHECK(input.size() == shape.input_size(), "input size mismatch");
+  AKS_CHECK(filter.size() == shape.filter_size(), "filter size mismatch");
+  AKS_CHECK(output.size() == shape.output_size(), "output size mismatch");
+
+  const auto mm = winograd4_gemm_shape(shape);
+  const std::size_t tiles = mm.m;
+  const auto in_c = zu(shape.in_channels);
+  const auto out_c = zu(shape.out_channels);
+  const int tiles_h = (shape.out_height() + 3) / 4;
+  const int tiles_w = (shape.out_width() + 3) / 4;
+
+  // Filter transform: U = G g G^T, packed [pos][c, f], pos in 0..35.
+  const std::size_t u_plane = in_c * out_c;
+  std::vector<float> u(36 * u_plane, 0.0f);
+  for (std::size_t c = 0; c < in_c; ++c) {
+    for (std::size_t f = 0; f < out_c; ++f) {
+      float g[3][3];
+      for (int ky = 0; ky < 3; ++ky)
+        for (int kx = 0; kx < 3; ++kx)
+          g[ky][kx] = filter[((zu(ky) * 3 + zu(kx)) * in_c + c) * out_c + f];
+      float gg[6][3];
+      matmul_small(kG, g, gg);
+      float ut[6][6];
+      matmul_small_rt(gg, kG, ut);
+      for (int pos = 0; pos < 36; ++pos) {
+        u[zu(pos) * u_plane + c * out_c + f] = ut[pos / 6][pos % 6];
+      }
+    }
+  }
+
+  // Input transform: V = B^T d B, packed [pos][tile, c].
+  const std::size_t v_plane = tiles * in_c;
+  std::vector<float> v(36 * v_plane, 0.0f);
+  const auto in_w = zu(shape.in_width);
+  for (int n = 0; n < shape.batch; ++n) {
+    const std::size_t in_base =
+        zu(n) * zu(shape.in_height) * zu(shape.in_width) * in_c;
+    for (int ty = 0; ty < tiles_h; ++ty) {
+      for (int tx = 0; tx < tiles_w; ++tx) {
+        const std::size_t tile =
+            (zu(n) * zu(tiles_h) + zu(ty)) * zu(tiles_w) + zu(tx);
+        for (std::size_t c = 0; c < in_c; ++c) {
+          float d[6][6];
+          for (int dy = 0; dy < 6; ++dy) {
+            const int in_y = ty * 4 + dy - shape.padding;
+            for (int dx = 0; dx < 6; ++dx) {
+              const int in_x = tx * 4 + dx - shape.padding;
+              const bool inside = in_y >= 0 && in_y < shape.in_height &&
+                                  in_x >= 0 && in_x < shape.in_width;
+              d[dy][dx] = inside ? input[in_base +
+                                         (zu(in_y) * in_w + zu(in_x)) * in_c +
+                                         c]
+                                 : 0.0f;
+            }
+          }
+          float bd[6][6];
+          matmul_small(kBT, d, bd);
+          float vt[6][6];
+          matmul_small_rt(bd, kBT, vt);
+          for (int pos = 0; pos < 36; ++pos) {
+            v[zu(pos) * v_plane + tile * in_c + c] = vt[pos / 6][pos % 6];
+          }
+        }
+      }
+    }
+  }
+
+  // The 36 multiplies as one batched launch.
+  const std::size_t m_plane = tiles * out_c;
+  std::vector<float> m(36 * m_plane, 0.0f);
+  gemm::launch_batched_gemm(queue, config, v, u, m, mm, 36);
+
+  // Output transform: Y = A^T m A (4x4 per tile), scattered with guards.
+  const int oh = shape.out_height();
+  const int ow = shape.out_width();
+  for (int n = 0; n < shape.batch; ++n) {
+    const std::size_t out_base = zu(n) * zu(oh) * zu(ow) * out_c;
+    for (int ty = 0; ty < tiles_h; ++ty) {
+      for (int tx = 0; tx < tiles_w; ++tx) {
+        const std::size_t tile =
+            (zu(n) * zu(tiles_h) + zu(ty)) * zu(tiles_w) + zu(tx);
+        for (std::size_t f = 0; f < out_c; ++f) {
+          float mt[6][6];
+          for (int pos = 0; pos < 36; ++pos) {
+            mt[pos / 6][pos % 6] = m[zu(pos) * m_plane + tile * out_c + f];
+          }
+          float am[4][6];
+          matmul_small(kAT, mt, am);
+          float y[4][4];
+          matmul_small_rt(am, kAT, y);
+          for (int dy = 0; dy < 4; ++dy) {
+            const int out_y = ty * 4 + dy;
+            if (out_y >= oh) continue;
+            for (int dx = 0; dx < 4; ++dx) {
+              const int out_x = tx * 4 + dx;
+              if (out_x >= ow) continue;
+              output[out_base + (zu(out_y) * zu(ow) + zu(out_x)) * out_c + f] =
+                  y[dy][dx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aks::conv

@@ -1,0 +1,64 @@
+#include "core/conv_engine.hpp"
+
+#include "common/error.hpp"
+#include "conv/im2col.hpp"
+#include "conv/winograd.hpp"
+
+namespace aks::select {
+
+ConvEngine::ConvEngine(std::shared_ptr<const KernelSelector> selector,
+                       perf::CostModel cost_model)
+    : selector_(std::move(selector)), cost_model_(std::move(cost_model)) {
+  AKS_CHECK(selector_ != nullptr, "ConvEngine needs a selector");
+  AKS_CHECK(!selector_->allowed().empty(), "ConvEngine selector is unfitted");
+}
+
+ConvEngine::Plan ConvEngine::plan(const conv::ConvShape& shape) const {
+  auto plan_for = [&](data::Transform transform,
+                      const gemm::GemmShape& gemm_shape, std::size_t batch) {
+    Plan candidate;
+    candidate.transform = transform;
+    candidate.gemm_shape = gemm_shape;
+    candidate.config = selector_->select_config(gemm_shape);
+    candidate.modelled_seconds = cost_model_.predict_batched_seconds(
+        candidate.config, gemm_shape, batch);
+    return candidate;
+  };
+
+  Plan best =
+      plan_for(data::Transform::kIm2col, conv::im2col_gemm_shape(shape), 1);
+  if (conv::winograd_applicable(shape)) {
+    // Both Winograd tile sizes run their multiplies as one batched launch.
+    const Plan wino = plan_for(data::Transform::kWinograd,
+                               conv::winograd_gemm_shape(shape), 16);
+    if (wino.modelled_seconds < best.modelled_seconds) best = wino;
+    const Plan wino4 = plan_for(data::Transform::kWinograd4,
+                                conv::winograd4_gemm_shape(shape), 36);
+    if (wino4.modelled_seconds < best.modelled_seconds) best = wino4;
+  }
+  return best;
+}
+
+ConvEngine::Plan ConvEngine::run(syclrt::Queue& queue,
+                                 std::span<const float> input,
+                                 std::span<const float> filter,
+                                 std::span<float> output,
+                                 const conv::ConvShape& shape) const {
+  const Plan chosen = plan(shape);
+  switch (chosen.transform) {
+    case data::Transform::kWinograd:
+      conv::winograd_conv2d(queue, chosen.config, input, filter, output,
+                            shape);
+      break;
+    case data::Transform::kWinograd4:
+      conv::winograd4_conv2d(queue, chosen.config, input, filter, output,
+                             shape);
+      break;
+    default:
+      conv::im2col_conv2d(queue, chosen.config, input, filter, output, shape);
+      break;
+  }
+  return chosen;
+}
+
+}  // namespace aks::select

@@ -1,0 +1,41 @@
+#include "core/evaluation.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace aks::select {
+
+double pruning_ceiling(const data::PerfDataset& test,
+                       const std::vector<std::size_t>& allowed) {
+  AKS_CHECK(test.num_shapes() > 0, "empty test set");
+  std::vector<double> best(test.num_shapes());
+  for (std::size_t r = 0; r < test.num_shapes(); ++r) {
+    best[r] = test.best_restricted_score(r, allowed);
+  }
+  return common::geometric_mean(best);
+}
+
+double selector_score(const KernelSelector& selector,
+                      const data::PerfDataset& test) {
+  AKS_CHECK(test.num_shapes() > 0, "empty test set");
+  std::vector<double> achieved(test.num_shapes());
+  for (std::size_t r = 0; r < test.num_shapes(); ++r) {
+    const std::size_t chosen = selector.select(test.features().row(r));
+    achieved[r] = test.scores()(r, chosen);
+  }
+  return common::geometric_mean(achieved);
+}
+
+double selector_accuracy(const KernelSelector& selector,
+                         const data::PerfDataset& test) {
+  AKS_CHECK(test.num_shapes() > 0, "empty test set");
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < test.num_shapes(); ++r) {
+    const std::size_t chosen = selector.select(test.features().row(r));
+    const double best = test.best_restricted_score(r, selector.allowed());
+    hits += test.scores()(r, chosen) == best ? 1u : 0u;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.num_shapes());
+}
+
+}  // namespace aks::select

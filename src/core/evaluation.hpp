@@ -1,0 +1,29 @@
+// Scoring of pruned configuration sets and trained selectors, exactly as
+// the paper does it: every number is a geometric mean over test shapes of
+// performance relative to the *absolute* optimum (all 640 configurations).
+#pragma once
+
+#include <vector>
+
+#include "core/selector.hpp"
+#include "dataset/perf_dataset.hpp"
+
+namespace aks::select {
+
+/// Figure 4's metric: geometric mean over `test` rows of the best score
+/// achievable when restricted to `allowed`. 1.0 means the restriction never
+/// loses anything.
+[[nodiscard]] double pruning_ceiling(const data::PerfDataset& test,
+                                     const std::vector<std::size_t>& allowed);
+
+/// Table I's metric: geometric mean over `test` rows of the score of the
+/// configuration the (already fitted) selector picks.
+[[nodiscard]] double selector_score(const KernelSelector& selector,
+                                    const data::PerfDataset& test);
+
+/// Fraction of test rows where the selector picks the best *allowed*
+/// configuration (classification accuracy of the selection task).
+[[nodiscard]] double selector_accuracy(const KernelSelector& selector,
+                                       const data::PerfDataset& test);
+
+}  // namespace aks::select

@@ -1,0 +1,42 @@
+#include "core/online.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aks::select {
+
+OnlineTuner::OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer)
+    : candidates_(std::move(candidates)), timer_(std::move(timer)) {
+  AKS_CHECK(!candidates_.empty(), "online tuner needs candidates");
+  AKS_CHECK(timer_ != nullptr, "online tuner needs a timer function");
+  const auto num_configs = gemm::enumerate_configs().size();
+  for (const std::size_t c : candidates_) {
+    AKS_CHECK(c < num_configs, "candidate index " << c << " out of range");
+  }
+}
+
+gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
+  const auto it = cache_.find(shape);
+  if (it != cache_.end()) {
+    ++hits_;
+    return gemm::enumerate_configs()[it->second];
+  }
+  ++misses_;
+  double best_time = std::numeric_limits<double>::infinity();
+  std::size_t best = candidates_.front();
+  for (const std::size_t candidate : candidates_) {
+    const double t =
+        timer_(gemm::enumerate_configs()[candidate], shape);
+    AKS_CHECK(t > 0.0, "timer returned non-positive time");
+    trial_seconds_ += t;
+    if (t < best_time) {
+      best_time = t;
+      best = candidate;
+    }
+  }
+  cache_.emplace(shape, best);
+  return gemm::enumerate_configs()[best];
+}
+
+}  // namespace aks::select

@@ -1,0 +1,53 @@
+// Online (dynamic) kernel tuning — the strategy the paper's introduction
+// attributes to ML frameworks: "doing trial runs the first time an input
+// size is used and choosing the best for subsequent runs".
+//
+// The tuner holds a candidate configuration set (typically a pruned set).
+// The first request for a shape times every candidate through the supplied
+// timing function and caches the winner; later requests hit the cache. This
+// is the baseline a learned selector competes with: zero selection error
+// asymptotically, but a warm-up cost of |candidates| trial runs per novel
+// shape — exactly the trade-off bench/ablation_online_vs_learned measures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "gemm/config.hpp"
+#include "gemm/shape.hpp"
+
+namespace aks::select {
+
+class OnlineTuner {
+ public:
+  /// Times one run of `config` on `shape`, returning seconds.
+  using TimerFn =
+      std::function<double(const gemm::KernelConfig&, const gemm::GemmShape&)>;
+
+  /// `candidates` are canonical configuration indices; `timer` is invoked
+  /// once per candidate on every cache miss.
+  OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer);
+
+  /// Best candidate for the shape; benchmarks on first sight of the shape.
+  [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
+
+  /// Statistics for the warm-up-cost analysis.
+  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::size_t cache_misses() const { return misses_; }
+  /// Total seconds of trial runs spent warming the cache (as reported by
+  /// the timer function).
+  [[nodiscard]] double trial_seconds() const { return trial_seconds_; }
+  [[nodiscard]] std::size_t cached_shapes() const { return cache_.size(); }
+
+ private:
+  std::vector<std::size_t> candidates_;
+  TimerFn timer_;
+  std::map<gemm::GemmShape, std::size_t> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  double trial_seconds_ = 0.0;
+};
+
+}  // namespace aks::select

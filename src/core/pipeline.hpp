@@ -1,0 +1,87 @@
+// End-to-end tuning pipeline: dataset -> prune -> train selector -> report.
+//
+// This is the workflow the paper proposes for shipping a SYCL library:
+// benchmark offline, cluster to a kernel budget, train a cheap runtime
+// selector, and deploy kernels + selector together. The pipeline wraps the
+// pieces with a single options struct so examples, benches and downstream
+// users drive one entry point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+#include "core/selector.hpp"
+#include "dataset/perf_dataset.hpp"
+
+namespace aks::select {
+
+enum class PruneMethod {
+  kTopN,
+  kKMeans,
+  kHdbscan,
+  kPcaKMeans,
+  kDecisionTree,
+  // Extension beyond the paper's five:
+  kAgglomerative,
+};
+enum class SelectorMethod {
+  kDecisionTree,
+  kRandomForest,
+  k1Nn,
+  k3Nn,
+  kLinearSvm,
+  kRadialSvm,
+  // Extension beyond Table I (the related work's boosted regression trees):
+  kGradientBoosting,
+};
+
+[[nodiscard]] std::string to_string(PruneMethod method);
+[[nodiscard]] std::string to_string(SelectorMethod method);
+
+[[nodiscard]] std::unique_ptr<ConfigPruner> make_pruner(
+    PruneMethod method, std::uint64_t seed = 0);
+[[nodiscard]] std::unique_ptr<KernelSelector> make_selector(
+    SelectorMethod method, std::uint64_t seed = 0,
+    bool scale_features = false);
+
+struct PipelineOptions {
+  /// Kernel budget (the paper examines 4..15).
+  std::size_t num_configs = 8;
+  PruneMethod prune_method = PruneMethod::kDecisionTree;
+  SelectorMethod selector_method = SelectorMethod::kDecisionTree;
+  /// Train fraction of the dataset (the paper: 136/170 = 0.8).
+  double train_fraction = 0.8;
+  std::uint64_t split_seed = 1;
+  std::uint64_t model_seed = 0;
+  bool scale_features = false;
+  FeatureMap feature_map = FeatureMap::kRaw;
+};
+
+struct PipelineResult {
+  /// Canonical indices of the shipped configurations.
+  std::vector<std::size_t> configs;
+  /// Geomean % of optimal achievable with those configs on the test set.
+  double ceiling = 0.0;
+  /// Geomean % of optimal the trained selector achieves on the test set.
+  double achieved = 0.0;
+  /// Selection accuracy (picked the best allowed config) on the test set.
+  double accuracy = 0.0;
+  /// Compiled kernels the shipped set needs (library-size metric).
+  std::size_t compiled_kernels = 0;
+  /// The trained selector, ready for deployment.
+  std::unique_ptr<KernelSelector> selector;
+};
+
+/// Runs split -> prune -> fit -> evaluate on `dataset`.
+[[nodiscard]] PipelineResult run_pipeline(const data::PerfDataset& dataset,
+                                          const PipelineOptions& options = {});
+
+/// The shipped configurations as full KernelConfig values.
+[[nodiscard]] std::vector<gemm::KernelConfig> configs_of(
+    const std::vector<std::size_t>& indices);
+
+}  // namespace aks::select

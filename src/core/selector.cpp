@@ -1,0 +1,211 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace aks::select {
+
+std::string to_string(FeatureMap map) {
+  switch (map) {
+    case FeatureMap::kRaw: return "raw";
+    case FeatureMap::kLog2: return "log2";
+  }
+  return "?";
+}
+
+namespace {
+
+double map_value(FeatureMap map, double v) {
+  switch (map) {
+    case FeatureMap::kRaw:
+      return v;
+    case FeatureMap::kLog2:
+      return std::log2(std::max(v, 1.0));
+  }
+  return v;
+}
+
+}  // namespace
+
+gemm::KernelConfig KernelSelector::select_config(
+    const gemm::GemmShape& shape) const {
+  const double features[3] = {static_cast<double>(shape.m),
+                              static_cast<double>(shape.k),
+                              static_cast<double>(shape.n)};
+  return gemm::enumerate_configs()[select(features)];
+}
+
+std::vector<int> KernelSelector::make_labels(
+    const data::PerfDataset& train) const {
+  AKS_CHECK(!allowed_.empty(), "selector fitted with empty config set");
+  std::vector<int> labels(train.num_shapes());
+  for (std::size_t r = 0; r < train.num_shapes(); ++r) {
+    double best = -1.0;
+    int best_idx = 0;
+    for (std::size_t i = 0; i < allowed_.size(); ++i) {
+      const double score = train.scores()(r, allowed_[i]);
+      if (score > best) {
+        best = score;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    labels[r] = best_idx;
+  }
+  return labels;
+}
+
+common::Matrix KernelSelector::prepare_fit(const common::Matrix& x) {
+  common::Matrix mapped(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      mapped(r, c) = map_value(feature_map_, x(r, c));
+    }
+  }
+  if (!scale_features_) return mapped;
+  scaler_.fit(mapped);
+  return scaler_.transform(mapped);
+}
+
+std::vector<double> KernelSelector::prepare_row(
+    std::span<const double> row) const {
+  std::vector<double> mapped(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    mapped[c] = map_value(feature_map_, row[c]);
+  }
+  if (!scale_features_) return mapped;
+  return scaler_.transform_row(mapped);
+}
+
+DecisionTreeSelector::DecisionTreeSelector(ml::TreeOptions options,
+                                           bool scale_features)
+    : options_(options), tree_(options) {
+  scale_features_ = scale_features;
+}
+
+DecisionTreeSelector::DecisionTreeSelector(ml::DecisionTreeClassifier tree,
+                                           std::vector<std::size_t> allowed)
+    : tree_(std::move(tree)) {
+  AKS_CHECK(tree_.fitted(), "tree must be fitted");
+  AKS_CHECK(!allowed.empty(), "allowed set must be non-empty");
+  AKS_CHECK(tree_.num_classes() == static_cast<int>(allowed.size()),
+            "tree has " << tree_.num_classes() << " classes for "
+            << allowed.size() << " allowed configs");
+  const auto num_configs = gemm::enumerate_configs().size();
+  for (const std::size_t c : allowed) {
+    AKS_CHECK(c < num_configs, "allowed config index out of range");
+  }
+  allowed_ = std::move(allowed);
+}
+
+void DecisionTreeSelector::fit(const data::PerfDataset& train,
+                               std::vector<std::size_t> allowed) {
+  allowed_ = std::move(allowed);
+  const auto x = prepare_fit(train.features());
+  tree_ = ml::DecisionTreeClassifier(options_);
+  tree_.fit(x, make_labels(train), static_cast<int>(allowed_.size()));
+}
+
+std::size_t DecisionTreeSelector::select(
+    std::span<const double> features) const {
+  return allowed_[static_cast<std::size_t>(
+      tree_.predict_row(prepare_row(features)))];
+}
+
+RandomForestSelector::RandomForestSelector(ml::ForestOptions options,
+                                           bool scale_features)
+    : options_(options), forest_(options) {
+  scale_features_ = scale_features;
+}
+
+void RandomForestSelector::fit(const data::PerfDataset& train,
+                               std::vector<std::size_t> allowed) {
+  allowed_ = std::move(allowed);
+  const auto x = prepare_fit(train.features());
+  forest_ = ml::RandomForestClassifier(options_);
+  forest_.fit(x, make_labels(train), static_cast<int>(allowed_.size()));
+}
+
+std::size_t RandomForestSelector::select(
+    std::span<const double> features) const {
+  return allowed_[static_cast<std::size_t>(
+      forest_.predict_row(prepare_row(features)))];
+}
+
+KnnSelector::KnnSelector(int k, bool scale_features) : k_(k), knn_(k) {
+  scale_features_ = scale_features;
+}
+
+void KnnSelector::fit(const data::PerfDataset& train,
+                      std::vector<std::size_t> allowed) {
+  allowed_ = std::move(allowed);
+  const auto x = prepare_fit(train.features());
+  knn_ = ml::KnnClassifier(k_);
+  knn_.fit(x, make_labels(train), static_cast<int>(allowed_.size()));
+}
+
+std::size_t KnnSelector::select(std::span<const double> features) const {
+  return allowed_[static_cast<std::size_t>(
+      knn_.predict_row(prepare_row(features)))];
+}
+
+SvmSelector::SvmSelector(ml::SvmOptions options, bool scale_features)
+    : options_(options), svm_(options) {
+  scale_features_ = scale_features;
+}
+
+void SvmSelector::fit(const data::PerfDataset& train,
+                      std::vector<std::size_t> allowed) {
+  allowed_ = std::move(allowed);
+  const auto x = prepare_fit(train.features());
+  svm_ = ml::SvmClassifier(options_);
+  svm_.fit(x, make_labels(train), static_cast<int>(allowed_.size()));
+}
+
+std::size_t SvmSelector::select(std::span<const double> features) const {
+  return allowed_[static_cast<std::size_t>(
+      svm_.predict_row(prepare_row(features)))];
+}
+
+GbmSelector::GbmSelector(ml::GbmOptions options, bool scale_features)
+    : options_(options), gbm_(options) {
+  scale_features_ = scale_features;
+}
+
+void GbmSelector::fit(const data::PerfDataset& train,
+                      std::vector<std::size_t> allowed) {
+  allowed_ = std::move(allowed);
+  const auto x = prepare_fit(train.features());
+  gbm_ = ml::GradientBoostedClassifier(options_);
+  gbm_.fit(x, make_labels(train), static_cast<int>(allowed_.size()));
+}
+
+std::size_t GbmSelector::select(std::span<const double> features) const {
+  return allowed_[static_cast<std::size_t>(
+      gbm_.predict_row(prepare_row(features)))];
+}
+
+std::vector<std::unique_ptr<KernelSelector>> all_selectors(
+    std::uint64_t seed, bool scale_features) {
+  std::vector<std::unique_ptr<KernelSelector>> out;
+  out.push_back(
+      std::make_unique<DecisionTreeSelector>(ml::TreeOptions{}, scale_features));
+  ml::ForestOptions forest;
+  forest.seed = seed;
+  out.push_back(std::make_unique<RandomForestSelector>(forest, scale_features));
+  out.push_back(std::make_unique<KnnSelector>(1, scale_features));
+  out.push_back(std::make_unique<KnnSelector>(3, scale_features));
+  ml::SvmOptions linear;
+  linear.kernel = ml::SvmKernel::kLinear;
+  linear.seed = seed;
+  out.push_back(std::make_unique<SvmSelector>(linear, scale_features));
+  ml::SvmOptions radial;
+  radial.kernel = ml::SvmKernel::kRbf;
+  radial.seed = seed;
+  out.push_back(std::make_unique<SvmSelector>(radial, scale_features));
+  return out;
+}
+
+}  // namespace aks::select

@@ -1,0 +1,181 @@
+// Runtime kernel selection — Section IV of the paper.
+//
+// Once a library ships N kernels, something must choose among them for each
+// incoming (M, K, N) workload. A KernelSelector is trained on the tuning
+// dataset restricted to the pruned configuration set: the training label of
+// a shape is the best *allowed* configuration for it, and the selector
+// learns sizes -> label. Six selectors mirror Table I: decision tree,
+// random forest, 1-NN, 3-NN, linear SVM and radial (RBF) SVM.
+//
+// Feature scaling is optional and off by default, matching the paper's
+// setup (see svm.hpp for why that matters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/perf_dataset.hpp"
+#include "gemm/config.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+namespace aks::select {
+
+/// Optional feature engineering applied before any scaling/model. Matrix
+/// sizes span five orders of magnitude, so a log transform often helps the
+/// distance- and margin-based selectors (bench/ablation_feature_maps).
+enum class FeatureMap { kRaw, kLog2 };
+
+[[nodiscard]] std::string to_string(FeatureMap map);
+
+class KernelSelector {
+ public:
+  virtual ~KernelSelector() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on `train` restricted to the `allowed` configuration indices.
+  virtual void fit(const data::PerfDataset& train,
+                   std::vector<std::size_t> allowed) = 0;
+
+  /// Canonical configuration index chosen for a feature row (M, K, N).
+  [[nodiscard]] virtual std::size_t select(
+      std::span<const double> features) const = 0;
+
+  /// Convenience: the full KernelConfig for a GEMM shape.
+  [[nodiscard]] gemm::KernelConfig select_config(
+      const gemm::GemmShape& shape) const;
+
+  /// The configurations this selector can return (set by fit()).
+  [[nodiscard]] const std::vector<std::size_t>& allowed() const {
+    return allowed_;
+  }
+
+  /// Whether fit()/select() standardise features internally.
+  [[nodiscard]] bool scales_features() const { return scale_features_; }
+
+  /// Sets the feature map; must be called before fit().
+  void set_feature_map(FeatureMap map) { feature_map_ = map; }
+  [[nodiscard]] FeatureMap feature_map() const { return feature_map_; }
+
+ protected:
+  /// Builds classification labels: for each training row, the index *into
+  /// `allowed_`* of the best allowed configuration.
+  [[nodiscard]] std::vector<int> make_labels(
+      const data::PerfDataset& train) const;
+
+  /// Applies the feature map, fits the scaler when enabled, and returns the
+  /// matrix the model trains on. Call exactly once per fit().
+  [[nodiscard]] common::Matrix prepare_fit(const common::Matrix& x);
+
+  /// Applies the feature map and scaler to one query row.
+  [[nodiscard]] std::vector<double> prepare_row(
+      std::span<const double> row) const;
+
+  std::vector<std::size_t> allowed_;
+  ml::StandardScaler scaler_;
+  bool scale_features_ = false;
+  FeatureMap feature_map_ = FeatureMap::kRaw;
+};
+
+class DecisionTreeSelector final : public KernelSelector {
+ public:
+  explicit DecisionTreeSelector(ml::TreeOptions options = {},
+                                bool scale_features = false);
+
+  /// Reconstructs a fitted selector from a deserialised tree (see
+  /// core/serialize.hpp). The tree's class count must match `allowed`.
+  DecisionTreeSelector(ml::DecisionTreeClassifier tree,
+                       std::vector<std::size_t> allowed);
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+  void fit(const data::PerfDataset& train,
+           std::vector<std::size_t> allowed) override;
+  [[nodiscard]] std::size_t select(
+      std::span<const double> features) const override;
+  [[nodiscard]] const ml::DecisionTreeClassifier& tree() const { return tree_; }
+
+ private:
+  ml::TreeOptions options_;
+  ml::DecisionTreeClassifier tree_;
+};
+
+class RandomForestSelector final : public KernelSelector {
+ public:
+  explicit RandomForestSelector(ml::ForestOptions options = {},
+                                bool scale_features = false);
+  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+  void fit(const data::PerfDataset& train,
+           std::vector<std::size_t> allowed) override;
+  [[nodiscard]] std::size_t select(
+      std::span<const double> features) const override;
+
+ private:
+  ml::ForestOptions options_;
+  ml::RandomForestClassifier forest_;
+};
+
+class KnnSelector final : public KernelSelector {
+ public:
+  explicit KnnSelector(int k = 1, bool scale_features = false);
+  [[nodiscard]] std::string name() const override {
+    return std::to_string(k_) + "NearestNeighbor" + (k_ > 1 ? "s" : "");
+  }
+  void fit(const data::PerfDataset& train,
+           std::vector<std::size_t> allowed) override;
+  [[nodiscard]] std::size_t select(
+      std::span<const double> features) const override;
+
+ private:
+  int k_;
+  ml::KnnClassifier knn_;
+};
+
+class SvmSelector final : public KernelSelector {
+ public:
+  explicit SvmSelector(ml::SvmOptions options = {},
+                       bool scale_features = false);
+  [[nodiscard]] std::string name() const override {
+    return options_.kernel == ml::SvmKernel::kLinear ? "LinearSVM"
+                                                     : "RadialSVM";
+  }
+  void fit(const data::PerfDataset& train,
+           std::vector<std::size_t> allowed) override;
+  [[nodiscard]] std::size_t select(
+      std::span<const double> features) const override;
+
+ private:
+  ml::SvmOptions options_;
+  ml::SvmClassifier svm_;
+};
+
+/// Gradient-boosted trees (Bergstra et al.'s model family from the paper's
+/// related work) — an extension selector beyond Table I.
+class GbmSelector final : public KernelSelector {
+ public:
+  explicit GbmSelector(ml::GbmOptions options = {},
+                       bool scale_features = false);
+  [[nodiscard]] std::string name() const override {
+    return "GradientBoosting";
+  }
+  void fit(const data::PerfDataset& train,
+           std::vector<std::size_t> allowed) override;
+  [[nodiscard]] std::size_t select(
+      std::span<const double> features) const override;
+
+ private:
+  ml::GbmOptions options_;
+  ml::GradientBoostedClassifier gbm_;
+};
+
+/// The six Table I selectors, in row order. `scale_features` applies a
+/// StandardScaler inside every selector (the ablation variant).
+[[nodiscard]] std::vector<std::unique_ptr<KernelSelector>> all_selectors(
+    std::uint64_t seed = 0, bool scale_features = false);
+
+}  // namespace aks::select

@@ -1,0 +1,34 @@
+// Persistence for trained decision-tree selectors.
+//
+// A tuned library wants to train once and ship the selector; this module
+// writes the selector to a small self-describing text file and restores it
+// exactly (thresholds round-trip via hex doubles). The generated-code path
+// (codegen.hpp) covers compile-time deployment; this covers data-file
+// deployment.
+//
+// Format (line-oriented):
+//   aks-tree-selector v1
+//   features <count>
+//   allowed <count> <canonical config indices...>
+//   nodes <count>
+//   <feature> <threshold-hex> <left> <right> <n_samples> <value...>  (x count)
+#pragma once
+
+#include <filesystem>
+
+#include "core/selector.hpp"
+
+namespace aks::select {
+
+/// Writes a fitted tree selector. Throws on I/O failure, unfitted
+/// selectors, or selectors with scaling / feature maps (which are training
+/// concerns that do not belong in the deployment artefact).
+void save_selector(const DecisionTreeSelector& selector,
+                   const std::filesystem::path& path);
+
+/// Restores a selector saved by save_selector. Validates the file format
+/// and node graph; throws common::Error on any mismatch.
+[[nodiscard]] DecisionTreeSelector load_selector(
+    const std::filesystem::path& path);
+
+}  // namespace aks::select

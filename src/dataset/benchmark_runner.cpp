@@ -1,0 +1,57 @@
+#include "dataset/benchmark_runner.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "gemm/registry.hpp"
+#include "syclrt/queue.hpp"
+
+namespace aks::data {
+
+PerfDataset run_model_benchmarks(const std::vector<LoweredGemm>& shapes,
+                                 const perf::DeviceSpec& device,
+                                 const RunnerOptions& options) {
+  AKS_CHECK(!shapes.empty(), "no shapes to benchmark");
+  AKS_CHECK(options.iterations > 0, "need at least one iteration");
+  const auto& configs = gemm::enumerate_configs();
+  const perf::TimingModel timing(device, options.noise_sigma, options.seed);
+
+  common::Matrix times(shapes.size(), configs.size());
+  std::atomic<std::size_t> done{0};
+  common::ThreadPool::global().parallel_for(
+      shapes.size(), [&](std::size_t r) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+          times(r, c) =
+              timing.best_of(configs[c], shapes[r].shape, options.iterations);
+        }
+        const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.progress) options.progress(d, shapes.size());
+      });
+  return PerfDataset(shapes, std::move(times));
+}
+
+PerfDataset build_paper_dataset(const RunnerOptions& options,
+                                const ExtractionOptions& extraction) {
+  return run_model_benchmarks(extract_all_shapes(extraction),
+                              perf::DeviceSpec::amd_r9_nano(), options);
+}
+
+double time_host_run(const gemm::KernelConfig& config,
+                     const gemm::GemmShape& shape) {
+  // Deterministic input data; contents do not affect timing meaningfully
+  // but keep the kernels honest (no denormal or NaN shortcuts).
+  common::Rng rng(7);
+  std::vector<float> a(shape.m * shape.k);
+  std::vector<float> b(shape.k * shape.n);
+  std::vector<float> c(shape.m * shape.n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  syclrt::Queue queue;
+  const auto event = gemm::launch_gemm(queue, config, a, b, c, shape);
+  return event.elapsed_seconds;
+}
+
+}  // namespace aks::data

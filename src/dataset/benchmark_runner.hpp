@@ -1,0 +1,53 @@
+// The benchmark harness that builds the tuning dataset.
+//
+// Mirrors the paper's data collection: "For each of these sizes we ran a
+// benchmark for each of the kernel configurations, recording the runtime of
+// the kernel and number of flops attained over a number of iterations."
+// Two backends are provided:
+//
+//  * model mode — each (shape, config) run is timed by the perfmodel
+//    TimingModel (best-of-N with deterministic noise). This is the mode the
+//    shipped dataset uses; see DESIGN.md for the hardware substitution.
+//  * host mode — the configuration's kernel is actually executed on the
+//    syclrt host runtime and wall-clock timed. Used for correctness-scale
+//    problems and the kernel microbenchmarks, not the full sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dataset/extract.hpp"
+#include "dataset/perf_dataset.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace aks::data {
+
+struct RunnerOptions {
+  /// Timed iterations per (shape, config); the best is kept.
+  int iterations = 5;
+  /// Lognormal sigma of the simulated measurement noise.
+  double noise_sigma = 0.03;
+  /// Seed for the noise streams.
+  std::uint64_t seed = 42;
+  /// Progress callback, called after each completed shape row.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Runs the full (shapes x 640 configs) sweep against the timing model for
+/// `device` and returns the assembled dataset.
+[[nodiscard]] PerfDataset run_model_benchmarks(
+    const std::vector<LoweredGemm>& shapes, const perf::DeviceSpec& device,
+    const RunnerOptions& options = {});
+
+/// Convenience: extract the paper's shape set and sweep it on the paper's
+/// device model (AMD R9 Nano).
+[[nodiscard]] PerfDataset build_paper_dataset(
+    const RunnerOptions& options = {},
+    const ExtractionOptions& extraction = {});
+
+/// Executes one (shape, config) run on the host runtime and returns
+/// wall-clock seconds. Intended for small shapes.
+[[nodiscard]] double time_host_run(const gemm::KernelConfig& config,
+                                   const gemm::GemmShape& shape);
+
+}  // namespace aks::data

@@ -1,0 +1,49 @@
+#include "dataset/extract.hpp"
+
+#include <map>
+
+#include "dataset/networks.hpp"
+
+namespace aks::data {
+
+const std::vector<int>& ExtractionOptions::batches_for(
+    const std::string& network) const {
+  if (network == "ResNet50") return resnet_batches;
+  if (network == "MobileNetV2") return mobilenet_batches;
+  return vgg_batches;
+}
+
+std::vector<LoweredGemm> deduplicate(std::vector<LoweredGemm> lowered) {
+  std::map<gemm::GemmShape, bool> seen;
+  std::vector<LoweredGemm> out;
+  out.reserve(lowered.size());
+  for (auto& item : lowered) {
+    if (seen.emplace(item.shape, true).second) {
+      out.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
+std::vector<NetworkShapes> extract_paper_shapes(
+    const ExtractionOptions& options) {
+  std::vector<NetworkShapes> out;
+  for (const auto& network : paper_networks()) {
+    NetworkShapes entry;
+    entry.network = network.name;
+    entry.shapes =
+        deduplicate(lower_network(network, options.batches_for(network.name)));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<LoweredGemm> extract_all_shapes(const ExtractionOptions& options) {
+  std::vector<LoweredGemm> out;
+  for (auto& per_network : extract_paper_shapes(options)) {
+    out.insert(out.end(), per_network.shapes.begin(), per_network.shapes.end());
+  }
+  return out;
+}
+
+}  // namespace aks::data

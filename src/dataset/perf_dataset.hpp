@@ -1,0 +1,99 @@
+// The tuning dataset: for every benchmark shape, the normalised performance
+// of every kernel configuration.
+//
+// Rows are GEMM shapes (the paper's 170), columns are the 640 kernel
+// configurations in canonical order. `scores(r, c)` is the performance of
+// configuration c on shape r relative to the best configuration for that
+// shape, in (0, 1] — the representation Figures 1-4 and Table I are built
+// from. `features` carries (M, K, N) per row for the learned selectors.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "dataset/lowering.hpp"
+#include "gemm/shape.hpp"
+
+namespace aks::data {
+
+struct DatasetSplit;
+
+class PerfDataset {
+ public:
+  PerfDataset() = default;
+
+  /// `times(r, c)` are raw execution times in seconds; scores are derived
+  /// as time_best(r) / time(r, c).
+  PerfDataset(std::vector<LoweredGemm> shapes, common::Matrix times);
+
+  [[nodiscard]] std::size_t num_shapes() const { return shapes_.size(); }
+  [[nodiscard]] std::size_t num_configs() const { return scores_.cols(); }
+
+  [[nodiscard]] const std::vector<LoweredGemm>& shapes() const {
+    return shapes_;
+  }
+  /// n x 3 feature matrix: (M, K, N) as doubles.
+  [[nodiscard]] const common::Matrix& features() const { return features_; }
+  /// n x 640 normalised performance in (0, 1].
+  [[nodiscard]] const common::Matrix& scores() const { return scores_; }
+  /// n x 640 raw times in seconds.
+  [[nodiscard]] const common::Matrix& times() const { return times_; }
+
+  /// Index of the best configuration for a shape row.
+  [[nodiscard]] std::size_t best_config(std::size_t row) const;
+
+  /// Achieved GFLOP/s of one (shape, config) cell — the second quantity
+  /// the paper's harness records ("the runtime of the kernel and number of
+  /// flops attained").
+  [[nodiscard]] double gflops(std::size_t row, std::size_t config) const;
+
+  /// How many rows each configuration wins (Figure 2's histogram).
+  [[nodiscard]] std::vector<std::size_t> optimal_counts() const;
+
+  /// Mean normalised score of each configuration across all rows
+  /// (Figure 1's ordering key).
+  [[nodiscard]] std::vector<double> mean_scores() const;
+
+  /// Best score achievable per row when restricted to `allowed` configs.
+  [[nodiscard]] double best_restricted_score(
+      std::size_t row, const std::vector<std::size_t>& allowed) const;
+
+  /// Returns a dataset containing the given rows.
+  [[nodiscard]] PerfDataset subset(
+      const std::vector<std::size_t>& rows) const;
+
+  /// Row indices whose shape came from the named network (e.g. "VGG16").
+  [[nodiscard]] std::vector<std::size_t> rows_of_network(
+      const std::string& network) const;
+
+  /// The distinct network names present, in row order of first appearance.
+  [[nodiscard]] std::vector<std::string> networks() const;
+
+  /// Random split into train/test by fraction (the paper: 136/34 = 80/20).
+  [[nodiscard]] DatasetSplit split(double train_fraction,
+                                   std::uint64_t seed) const;
+
+  /// CSV round-trip. The file stores provenance, features and raw times.
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static PerfDataset load(const std::filesystem::path& path);
+
+ private:
+  void derive_from_times();
+
+  std::vector<LoweredGemm> shapes_;
+  common::Matrix features_;
+  common::Matrix times_;
+  common::Matrix scores_;
+};
+
+/// Result of PerfDataset::split.
+struct DatasetSplit {
+  PerfDataset train;
+  PerfDataset test;
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+};
+
+}  // namespace aks::data

@@ -1,0 +1,108 @@
+#include "gemm/config.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace aks::gemm {
+
+namespace {
+
+int tile_index(int value) {
+  const auto& sizes = tile_sizes();
+  const auto it = std::find(sizes.begin(), sizes.end(), value);
+  AKS_CHECK(it != sizes.end(), "tile size " << value << " not in {1,2,4,8}");
+  return static_cast<int>(std::distance(sizes.begin(), it));
+}
+
+int wg_index(int rows, int cols) {
+  const auto& shapes = work_group_shapes();
+  const auto it = std::find(shapes.begin(), shapes.end(),
+                            std::make_pair(rows, cols));
+  AKS_CHECK(it != shapes.end(),
+            "work-group shape " << rows << "x" << cols << " not supported");
+  return static_cast<int>(std::distance(shapes.begin(), it));
+}
+
+}  // namespace
+
+std::string KernelConfig::name() const {
+  return "t" + std::to_string(row_tile) + "x" + std::to_string(col_tile) +
+         "_a" + std::to_string(acc_size) + "_wg" + std::to_string(wg_rows) +
+         "x" + std::to_string(wg_cols);
+}
+
+KernelConfig KernelConfig::parse(const std::string& name) {
+  // Format: t<rt>x<ct>_a<acc>_wg<rows>x<cols>
+  const auto parts = common::split(name, '_');
+  AKS_CHECK(parts.size() == 3 && common::starts_with(parts[0], "t") &&
+                common::starts_with(parts[1], "a") &&
+                common::starts_with(parts[2], "wg"),
+            "malformed kernel config name: " << name);
+  const auto tiles = common::split(parts[0].substr(1), 'x');
+  const auto wg = common::split(parts[2].substr(2), 'x');
+  AKS_CHECK(tiles.size() == 2 && wg.size() == 2,
+            "malformed kernel config name: " << name);
+  KernelConfig config;
+  try {
+    config.row_tile = std::stoi(tiles[0]);
+    config.col_tile = std::stoi(tiles[1]);
+    config.acc_size = std::stoi(parts[1].substr(1));
+    config.wg_rows = std::stoi(wg[0]);
+    config.wg_cols = std::stoi(wg[1]);
+  } catch (const std::exception&) {
+    AKS_FAIL("malformed kernel config name: " << name);
+  }
+  // Validate by round-tripping through the canonical index.
+  (void)config_index(config);
+  return config;
+}
+
+const std::array<int, 4>& tile_sizes() {
+  static const std::array<int, 4> sizes = {1, 2, 4, 8};
+  return sizes;
+}
+
+const std::array<std::pair<int, int>, 10>& work_group_shapes() {
+  // The ten shapes listed in Section II of the paper.
+  static const std::array<std::pair<int, int>, 10> shapes = {{
+      {1, 64}, {1, 128}, {8, 8}, {8, 16}, {8, 32},
+      {16, 8}, {16, 16}, {32, 8}, {64, 1}, {128, 1},
+  }};
+  return shapes;
+}
+
+const std::vector<KernelConfig>& enumerate_configs() {
+  static const std::vector<KernelConfig> configs = [] {
+    std::vector<KernelConfig> out;
+    out.reserve(640);
+    for (int rt : tile_sizes())
+      for (int ct : tile_sizes())
+        for (int acc : tile_sizes())
+          for (const auto& [rows, cols] : work_group_shapes())
+            out.push_back(KernelConfig{rt, ct, acc, rows, cols});
+    return out;
+  }();
+  return configs;
+}
+
+std::size_t config_index(const KernelConfig& config) {
+  const auto rt = static_cast<std::size_t>(tile_index(config.row_tile));
+  const auto ct = static_cast<std::size_t>(tile_index(config.col_tile));
+  const auto acc = static_cast<std::size_t>(tile_index(config.acc_size));
+  const auto wg =
+      static_cast<std::size_t>(wg_index(config.wg_rows, config.wg_cols));
+  return ((rt * 4 + ct) * 4 + acc) * 10 + wg;
+}
+
+std::size_t count_compiled_kernels(const std::vector<KernelConfig>& configs) {
+  std::set<std::tuple<int, int, int>> compiled;
+  for (const auto& c : configs)
+    compiled.emplace(c.row_tile, c.col_tile, c.acc_size);
+  return compiled.size();
+}
+
+}  // namespace aks::gemm

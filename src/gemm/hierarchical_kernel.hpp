@@ -1,0 +1,95 @@
+// Work-group cooperative GEMM using the hierarchical runtime API.
+//
+// The paper notes SYCL-DNN tiles "at a work group level for programmatically
+// caching values" as well as per work-item; the register-tiled family in
+// tiled_kernel.hpp only does the latter. This kernel demonstrates the former
+// on the syclrt hierarchical API: each work-group stages a K-panel of A and
+// B into work-group local memory (body-scope storage shared by the group's
+// items, with barrier semantics between parallel_for_work_item passes) and
+// every item computes one output element from the staged panels.
+//
+// It is a runtime/API demonstration and correctness fixture, not part of
+// the benchmarked 640-point space (its local-memory traffic pattern is a
+// different design axis than the paper's study).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gemm/shape.hpp"
+#include "syclrt/queue.hpp"
+
+namespace aks::gemm {
+
+/// C = A * B with TILE x TILE work-groups staging TILE-wide K-panels in
+/// local memory. M and N need not be multiples of TILE (edges are guarded);
+/// any K is supported.
+template <int Tile = 8>
+syclrt::Event hierarchical_gemm(syclrt::Queue& queue, std::span<const float> a,
+                                std::span<const float> b, std::span<float> c,
+                                const GemmShape& shape) {
+  static_assert(Tile >= 1);
+  AKS_CHECK(a.size() == shape.m * shape.k, "A size mismatch");
+  AKS_CHECK(b.size() == shape.k * shape.n, "B size mismatch");
+  AKS_CHECK(c.size() == shape.m * shape.n, "C size mismatch");
+
+  constexpr auto kTile = static_cast<std::size_t>(Tile);
+  const std::size_t groups_r = (shape.m + kTile - 1) / kTile;
+  const std::size_t groups_c = (shape.n + kTile - 1) / kTile;
+
+  return queue.parallel_for_work_group(
+      syclrt::Range<2>(groups_r, groups_c), syclrt::Range<2>(kTile, kTile),
+      [=](const syclrt::WorkGroup<2>& group) {
+        // Work-group local memory: one A panel, one B panel, one
+        // accumulator per item. Body scope = shared by the group's items.
+        std::vector<float> a_panel(kTile * kTile);
+        std::vector<float> b_panel(kTile * kTile);
+        std::vector<float> acc(kTile * kTile, 0.0f);
+
+        const std::size_t row0 = group.get_group(0) * kTile;
+        const std::size_t col0 = group.get_group(1) * kTile;
+
+        for (std::size_t k0 = 0; k0 < shape.k; k0 += kTile) {
+          const std::size_t k_len = std::min(kTile, shape.k - k0);
+          // Phase 1: cooperative load of the panels (item (r, c) loads one
+          // element of each). Implicit barrier afterwards.
+          group.parallel_for_work_item([&](const syclrt::NdItem<2>& item) {
+            const std::size_t lr = item.get_local_id(0);
+            const std::size_t lc = item.get_local_id(1);
+            const std::size_t row = row0 + lr;
+            const std::size_t col = col0 + lc;
+            a_panel[lr * kTile + lc] =
+                (row < shape.m && lc < k_len)
+                    ? a[row * shape.k + k0 + lc]
+                    : 0.0f;
+            b_panel[lr * kTile + lc] =
+                (lr < k_len && col < shape.n)
+                    ? b[(k0 + lr) * shape.n + col]
+                    : 0.0f;
+          });
+          // Phase 2: every item accumulates from the staged panels.
+          group.parallel_for_work_item([&](const syclrt::NdItem<2>& item) {
+            const std::size_t lr = item.get_local_id(0);
+            const std::size_t lc = item.get_local_id(1);
+            float sum = acc[lr * kTile + lc];
+            for (std::size_t kk = 0; kk < k_len; ++kk) {
+              sum += a_panel[lr * kTile + kk] * b_panel[kk * kTile + lc];
+            }
+            acc[lr * kTile + lc] = sum;
+          });
+        }
+
+        // Final phase: guarded write-back.
+        group.parallel_for_work_item([&](const syclrt::NdItem<2>& item) {
+          const std::size_t row = row0 + item.get_local_id(0);
+          const std::size_t col = col0 + item.get_local_id(1);
+          if (row < shape.m && col < shape.n) {
+            c[row * shape.n + col] =
+                acc[item.get_local_id(0) * kTile + item.get_local_id(1)];
+          }
+        });
+      });
+}
+
+}  // namespace aks::gemm

@@ -1,0 +1,24 @@
+#include "gemm/reference.hpp"
+
+#include "common/error.hpp"
+
+namespace aks::gemm {
+
+void reference_gemm(std::span<const float> a, std::span<const float> b,
+                    std::span<float> c, const GemmShape& shape) {
+  AKS_CHECK(a.size() == shape.m * shape.k, "A size mismatch");
+  AKS_CHECK(b.size() == shape.k * shape.n, "B size mismatch");
+  AKS_CHECK(c.size() == shape.m * shape.n, "C size mismatch");
+  // i-k-j loop order: streams B rows, accumulates into C rows.
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t i = 0; i < shape.m; ++i) {
+    for (std::size_t kk = 0; kk < shape.k; ++kk) {
+      const float aik = a[i * shape.k + kk];
+      const float* b_row = &b[kk * shape.n];
+      float* c_row = &c[i * shape.n];
+      for (std::size_t j = 0; j < shape.n; ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+}  // namespace aks::gemm

@@ -1,0 +1,16 @@
+// Scalar reference GEMM used as the correctness oracle for every tiled
+// kernel instantiation.
+#pragma once
+
+#include <span>
+
+#include "gemm/shape.hpp"
+
+namespace aks::gemm {
+
+/// C = A * B with A[M x K], B[K x N], C[M x N], all row-major.
+/// C is overwritten. Sizes are validated against `shape`.
+void reference_gemm(std::span<const float> a, std::span<const float> b,
+                    std::span<float> c, const GemmShape& shape);
+
+}  // namespace aks::gemm

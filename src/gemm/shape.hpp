@@ -1,0 +1,38 @@
+// GEMM problem shape: C[M x N] = A[M x K] * B[K x N], row-major.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aks::gemm {
+
+struct GemmShape {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+
+  /// Floating-point operations for one GEMM (multiply + add).
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n);
+  }
+
+  /// Bytes touched assuming each operand is read/written exactly once
+  /// (the compulsory traffic lower bound), with 4-byte elements.
+  [[nodiscard]] double min_bytes() const {
+    return 4.0 * (static_cast<double>(m) * static_cast<double>(k) +
+                  static_cast<double>(k) * static_cast<double>(n) +
+                  static_cast<double>(m) * static_cast<double>(n));
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(m) + "x" + std::to_string(k) + "x" +
+           std::to_string(n);
+  }
+
+  [[nodiscard]] auto operator<=>(const GemmShape&) const = default;
+};
+
+}  // namespace aks::gemm

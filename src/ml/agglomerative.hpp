@@ -1,0 +1,55 @@
+// Agglomerative (bottom-up) hierarchical clustering.
+//
+// An extension clustering method beyond the paper's k-means/HDBSCAN pair:
+// unlike k-means it is deterministic with no seeding, and unlike HDBSCAN it
+// honours an exact cluster-count budget, which makes it a natural extra
+// pruner (select::AgglomerativePruner).
+//
+// Naive O(n^3) implementation with Lance-Williams distance updates — the
+// datasets here have at most a few hundred rows.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+struct AgglomerativeOptions {
+  int n_clusters = 8;
+  Linkage linkage = Linkage::kAverage;
+};
+
+class Agglomerative {
+ public:
+  explicit Agglomerative(AgglomerativeOptions options = {});
+
+  void fit(const common::Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return !labels_.empty(); }
+  /// Cluster label (0..n_clusters-1) per training row.
+  [[nodiscard]] const std::vector<std::size_t>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] std::size_t num_clusters() const { return num_clusters_; }
+
+  /// Medoid training row of each cluster.
+  [[nodiscard]] std::vector<std::size_t> medoid_rows(
+      const common::Matrix& x) const;
+
+  /// Merge distances in order (the dendrogram heights); useful to pick a
+  /// cluster count by the largest gap.
+  [[nodiscard]] const std::vector<double>& merge_distances() const {
+    return merge_distances_;
+  }
+
+ private:
+  AgglomerativeOptions options_;
+  std::vector<std::size_t> labels_;
+  std::vector<double> merge_distances_;
+  std::size_t num_clusters_ = 0;
+};
+
+}  // namespace aks::ml

@@ -1,0 +1,27 @@
+// Clustering quality metrics.
+//
+// The paper picks its cluster-count range from PCA variance (Figure 3);
+// silhouette analysis is the standard alternative, and
+// bench/ablation_cluster_count compares the two ways of choosing k.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+/// Mean silhouette coefficient over all points (Rousseeuw 1987):
+/// s(i) = (b(i) - a(i)) / max(a(i), b(i)) with a = mean intra-cluster
+/// distance and b = mean distance to the nearest other cluster. Requires at
+/// least 2 clusters; singleton clusters contribute s = 0 (scikit-learn's
+/// convention).
+[[nodiscard]] double silhouette_score(const common::Matrix& x,
+                                      const std::vector<std::size_t>& labels);
+
+/// Davies-Bouldin index (lower is better): mean over clusters of the worst
+/// (scatter_i + scatter_j) / centroid_distance(i, j) ratio.
+[[nodiscard]] double davies_bouldin_index(
+    const common::Matrix& x, const std::vector<std::size_t>& labels);
+
+}  // namespace aks::ml

@@ -1,0 +1,145 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aks::ml {
+
+namespace {
+
+/// Row-wise softmax of an n x k score matrix, in place.
+void softmax_rows(common::Matrix& scores) {
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.row(r);
+    const double max_score = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - max_score);
+      total += v;
+    }
+    for (auto& v : row) v /= total;
+  }
+}
+
+}  // namespace
+
+GradientBoostedClassifier::GradientBoostedClassifier(GbmOptions options)
+    : options_(options) {
+  AKS_CHECK(options_.n_rounds > 0, "n_rounds must be positive");
+  AKS_CHECK(options_.learning_rate > 0.0 && options_.learning_rate <= 1.0,
+            "learning_rate must be in (0,1]");
+  AKS_CHECK(options_.max_depth >= 1, "max_depth must be at least 1");
+}
+
+void GradientBoostedClassifier::fit(const common::Matrix& x,
+                                    const std::vector<int>& y,
+                                    int num_classes) {
+  const std::size_t n = x.rows();
+  AKS_CHECK(n == y.size(), "X/y size mismatch");
+  AKS_CHECK(n >= 2, "need at least 2 samples");
+  int max_label = 0;
+  for (const int label : y) {
+    AKS_CHECK(label >= 0, "negative class label");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = num_classes > 0 ? num_classes : max_label + 1;
+  const auto k = static_cast<std::size_t>(num_classes_);
+
+  // Base score: log prior per class (with Laplace smoothing so absent
+  // classes stay finite).
+  std::vector<double> counts(k, 1.0);
+  for (const int label : y) counts[static_cast<std::size_t>(label)] += 1.0;
+  base_score_.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    base_score_[c] = std::log(counts[c] / static_cast<double>(n + k));
+  }
+
+  common::Matrix scores(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(base_score_.begin(), base_score_.end(), scores.row(r).begin());
+  }
+
+  rounds_.clear();
+  common::Matrix residual(n, 1);
+  const double leaf_factor =
+      static_cast<double>(num_classes_ - 1) / std::max(1, num_classes_);
+
+  for (int round = 0; round < options_.n_rounds; ++round) {
+    common::Matrix proba = scores;
+    softmax_rows(proba);
+
+    Round this_round;
+    this_round.per_class.resize(k);
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      // Pseudo-residuals of the softmax cross-entropy.
+      for (std::size_t r = 0; r < n; ++r) {
+        const double target = y[r] == static_cast<int>(cls) ? 1.0 : 0.0;
+        residual(r, 0) = target - proba(r, cls);
+      }
+      TreeOptions topts;
+      topts.max_depth = options_.max_depth;
+      topts.min_samples_leaf = options_.min_samples_leaf;
+      auto& entry = this_round.per_class[cls];
+      entry.tree = DecisionTreeRegressor(topts);
+      entry.tree.fit(x, residual);
+
+      // Friedman's Newton step per leaf: gamma = (K-1)/K * sum r /
+      // sum |r| (1 - |r|), computed over the samples in each leaf.
+      const auto& nodes = entry.tree.nodes();
+      std::vector<double> numerator(nodes.size(), 0.0);
+      std::vector<double> denominator(nodes.size(), 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t leaf = entry.tree.leaf_index_row(x.row(r));
+        const double res = residual(r, 0);
+        numerator[leaf] += res;
+        denominator[leaf] += std::abs(res) * (1.0 - std::abs(res));
+      }
+      entry.leaf_gamma.assign(nodes.size(), 0.0);
+      for (std::size_t node = 0; node < nodes.size(); ++node) {
+        if (!nodes[node].is_leaf()) continue;
+        entry.leaf_gamma[node] =
+            denominator[node] > 1e-12
+                ? leaf_factor * numerator[node] / denominator[node]
+                : 0.0;
+      }
+
+      // Update the additive scores.
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t leaf = entry.tree.leaf_index_row(x.row(r));
+        scores(r, cls) += options_.learning_rate * entry.leaf_gamma[leaf];
+      }
+    }
+    rounds_.push_back(std::move(this_round));
+  }
+}
+
+std::vector<double> GradientBoostedClassifier::decision_row(
+    std::span<const double> row) const {
+  AKS_CHECK(fitted(), "GBM used before fit");
+  std::vector<double> scores = base_score_;
+  for (const auto& round : rounds_) {
+    for (std::size_t cls = 0; cls < scores.size(); ++cls) {
+      const auto& entry = round.per_class[cls];
+      const std::size_t leaf = entry.tree.leaf_index_row(row);
+      scores[cls] += options_.learning_rate * entry.leaf_gamma[leaf];
+    }
+  }
+  return scores;
+}
+
+int GradientBoostedClassifier::predict_row(std::span<const double> row) const {
+  const auto scores = decision_row(row);
+  return static_cast<int>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+std::vector<int> GradientBoostedClassifier::predict(
+    const common::Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+}  // namespace aks::ml

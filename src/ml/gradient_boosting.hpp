@@ -1,0 +1,63 @@
+// Gradient-boosted decision trees (multi-class MART).
+//
+// The paper's related work cites Bergstra, Pinto & Cox, "Machine learning
+// for predictive auto-tuning with boosted regression trees" — this is that
+// model family, applied here as an additional runtime-selection classifier
+// beyond the paper's Table I set (bench/ablation_extra_classifiers).
+//
+// Standard multi-class MART: one shallow regression tree per class per
+// round, fitted to the softmax pseudo-residuals, with Friedman's per-leaf
+// Newton step and shrinkage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace aks::ml {
+
+struct GbmOptions {
+  int n_rounds = 50;
+  /// Shrinkage (learning rate).
+  double learning_rate = 0.2;
+  /// Depth of the per-round trees (MART uses shallow trees).
+  int max_depth = 3;
+  int min_samples_leaf = 2;
+  std::uint64_t seed = 0;
+};
+
+class GradientBoostedClassifier {
+ public:
+  explicit GradientBoostedClassifier(GbmOptions options = {});
+
+  void fit(const common::Matrix& x, const std::vector<int>& y,
+           int num_classes = 0);
+
+  [[nodiscard]] bool fitted() const { return !rounds_.empty(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t num_rounds() const { return rounds_.size(); }
+
+  [[nodiscard]] int predict_row(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const common::Matrix& x) const;
+  /// Raw additive scores per class (pre-softmax).
+  [[nodiscard]] std::vector<double> decision_row(
+      std::span<const double> row) const;
+
+ private:
+  struct ClassTree {
+    DecisionTreeRegressor tree;
+    /// Leaf node index -> Newton-step leaf value.
+    std::vector<double> leaf_gamma;
+  };
+  struct Round {
+    std::vector<ClassTree> per_class;
+  };
+
+  GbmOptions options_;
+  std::vector<Round> rounds_;
+  std::vector<double> base_score_;
+  int num_classes_ = 0;
+};
+
+}  // namespace aks::ml

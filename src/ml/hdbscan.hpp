@@ -1,0 +1,67 @@
+// HDBSCAN* density-based clustering (Campello, Moulavi & Sander 2013),
+// following the reference implementation's structure:
+//
+//   1. core distances (distance to the min_samples-th neighbour),
+//   2. mutual-reachability distances,
+//   3. minimum spanning tree of the mutual-reachability graph (Prim),
+//   4. single-linkage hierarchy from sorted MST edges (union-find),
+//   5. condensed tree with a min_cluster_size threshold,
+//   6. cluster extraction by Excess of Mass stability,
+//   7. labels with noise = -1.
+//
+// The datasets here are small (<= a few hundred points), so the O(n^2)
+// dense formulation is used throughout.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+struct HdbscanOptions {
+  /// Smallest group of points considered a cluster.
+  int min_cluster_size = 5;
+  /// Neighbour count for core distances; 0 means min_cluster_size.
+  int min_samples = 0;
+  /// Permit the hierarchy root itself to be returned as a cluster when
+  /// nothing below it is more stable.
+  bool allow_single_cluster = false;
+};
+
+class Hdbscan {
+ public:
+  explicit Hdbscan(HdbscanOptions options = {});
+
+  void fit(const common::Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+  /// Cluster label per training row; -1 marks noise.
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+  [[nodiscard]] std::size_t num_clusters() const { return num_clusters_; }
+  /// Excess-of-Mass stability per cluster label.
+  [[nodiscard]] const std::vector<double>& cluster_stabilities() const {
+    return stabilities_;
+  }
+  /// Membership strength per point (normalised lambda within its cluster;
+  /// 0 for noise).
+  [[nodiscard]] const std::vector<double>& probabilities() const {
+    return probabilities_;
+  }
+
+  /// Medoid training row of each cluster (point minimising total distance
+  /// to its cluster co-members).
+  [[nodiscard]] std::vector<std::size_t> medoid_rows(
+      const common::Matrix& x) const;
+
+ private:
+  HdbscanOptions options_;
+  bool fitted_ = false;
+  std::vector<int> labels_;
+  std::vector<double> stabilities_;
+  std::vector<double> probabilities_;
+  std::size_t num_clusters_ = 0;
+};
+
+}  // namespace aks::ml

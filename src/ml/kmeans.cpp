@@ -1,0 +1,173 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+
+KMeans::KMeans(KMeansOptions options) : options_(options) {
+  AKS_CHECK(options_.n_clusters > 0, "n_clusters must be positive");
+  AKS_CHECK(options_.max_iterations > 0, "max_iterations must be positive");
+  AKS_CHECK(options_.n_init > 0, "n_init must be positive");
+}
+
+KMeans::RunResult KMeans::run_once(const common::Matrix& x,
+                                   std::uint64_t seed) const {
+  const std::size_t n = x.rows();
+  const auto k = static_cast<std::size_t>(options_.n_clusters);
+  common::Rng rng(seed);
+
+  // --- k-means++ seeding -------------------------------------------------
+  common::Matrix centroids(k, x.cols());
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  {
+    const std::size_t first = rng.uniform_index(n);
+    std::copy(x.row(first).begin(), x.row(first).end(),
+              centroids.row(0).begin());
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_sq[i] = std::min(min_sq[i],
+                           squared_distance(x.row(i), centroids.row(c - 1)));
+      total += min_sq[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      // Sample proportional to squared distance.
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.uniform_index(n);  // all points identical
+    }
+    std::copy(x.row(chosen).begin(), x.row(chosen).end(),
+              centroids.row(c).begin());
+  }
+
+  // --- Lloyd iterations ----------------------------------------------------
+  RunResult result;
+  result.labels.assign(n, 0);
+  std::vector<std::size_t> counts(k);
+  common::Matrix sums(k, x.cols());
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(x.row(i), centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+    }
+    result.iterations = iter + 1;
+    result.inertia = inertia;
+
+    sums.fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.labels[i];
+      ++counts[c];
+      const auto row = x.row(i);
+      auto sum_row = sums.row(c);
+      for (std::size_t j = 0; j < row.size(); ++j) sum_row[j] += row[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        std::size_t farthest = 0;
+        double worst = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = squared_distance(
+              x.row(i), centroids.row(result.labels[i]));
+          if (d > worst) {
+            worst = d;
+            farthest = i;
+          }
+        }
+        std::copy(x.row(farthest).begin(), x.row(farthest).end(),
+                  centroids.row(c).begin());
+        continue;
+      }
+      auto cen = centroids.row(c);
+      const auto sum_row = sums.row(c);
+      for (std::size_t j = 0; j < cen.size(); ++j)
+        cen[j] = sum_row[j] / static_cast<double>(counts[c]);
+    }
+
+    if (prev_inertia - inertia <= options_.tolerance * prev_inertia) break;
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+void KMeans::fit(const common::Matrix& x) {
+  AKS_CHECK(x.rows() >= static_cast<std::size_t>(options_.n_clusters),
+            "k-means with " << options_.n_clusters << " clusters needs at "
+            "least that many samples, got " << x.rows());
+  common::Rng seeder(options_.seed);
+  RunResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < options_.n_init; ++attempt) {
+    RunResult run = run_once(x, seeder.fork_seed());
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  centroids_ = std::move(best.centroids);
+  labels_ = std::move(best.labels);
+  inertia_ = best.inertia;
+  iterations_run_ = best.iterations;
+}
+
+std::vector<std::size_t> KMeans::predict(const common::Matrix& x) const {
+  AKS_CHECK(fitted(), "KMeans used before fit");
+  AKS_CHECK(x.cols() == centroids_.cols(), "KMeans: column count changed");
+  std::vector<std::size_t> labels(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+      const double d = squared_distance(x.row(i), centroids_.row(c));
+      if (d < best) {
+        best = d;
+        labels[i] = c;
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<std::size_t> KMeans::medoid_rows(const common::Matrix& x) const {
+  AKS_CHECK(fitted(), "KMeans used before fit");
+  AKS_CHECK(x.rows() == labels_.size(),
+            "medoid_rows expects the training matrix");
+  std::vector<std::size_t> medoids(centroids_.rows(), 0);
+  std::vector<double> best(centroids_.rows(),
+                           std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const std::size_t c = labels_[i];
+    const double d = squared_distance(x.row(i), centroids_.row(c));
+    if (d < best[c]) {
+      best[c] = d;
+      medoids[c] = i;
+    }
+  }
+  return medoids;
+}
+
+}  // namespace aks::ml

@@ -1,0 +1,64 @@
+// Lloyd's k-means with k-means++ seeding and multiple restarts.
+//
+// Clusters the 640-dimensional normalised-performance vectors (or their PCA
+// projections) to find groups of shapes with similar configuration
+// preferences — Section III's second and fourth pruning approaches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+struct KMeansOptions {
+  int n_clusters = 8;
+  int max_iterations = 300;
+  /// Independent restarts; the run with the lowest inertia wins.
+  int n_init = 10;
+  double tolerance = 1e-6;
+  std::uint64_t seed = 0;
+};
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansOptions options = {});
+
+  void fit(const common::Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return !labels_.empty(); }
+  [[nodiscard]] const common::Matrix& centroids() const { return centroids_; }
+  [[nodiscard]] const std::vector<std::size_t>& labels() const {
+    return labels_;
+  }
+  /// Sum of squared distances of samples to their centroid.
+  [[nodiscard]] double inertia() const { return inertia_; }
+  [[nodiscard]] int iterations_run() const { return iterations_run_; }
+
+  /// Nearest-centroid assignment for new rows.
+  [[nodiscard]] std::vector<std::size_t> predict(const common::Matrix& x) const;
+
+  /// Index of the training row nearest each centroid (the medoid used as a
+  /// cluster representative by the pruners).
+  [[nodiscard]] std::vector<std::size_t> medoid_rows(
+      const common::Matrix& x) const;
+
+ private:
+  struct RunResult {
+    common::Matrix centroids;
+    std::vector<std::size_t> labels;
+    double inertia = 0.0;
+    int iterations = 0;
+  };
+  [[nodiscard]] RunResult run_once(const common::Matrix& x,
+                                   std::uint64_t seed) const;
+
+  KMeansOptions options_;
+  common::Matrix centroids_;
+  std::vector<std::size_t> labels_;
+  double inertia_ = 0.0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace aks::ml

@@ -1,0 +1,61 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  AKS_CHECK(k_ >= 1, "k must be at least 1, got " << k_);
+}
+
+void KnnClassifier::fit(const common::Matrix& x, const std::vector<int>& y,
+                        int num_classes) {
+  AKS_CHECK(x.rows() == y.size(), "X/y size mismatch");
+  AKS_CHECK(x.rows() >= static_cast<std::size_t>(k_),
+            "need at least k=" << k_ << " training points, got " << x.rows());
+  int max_label = 0;
+  for (const int label : y) {
+    AKS_CHECK(label >= 0, "negative class label");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = num_classes > 0 ? num_classes : max_label + 1;
+  train_ = x;
+  labels_ = y;
+}
+
+int KnnClassifier::predict_row(std::span<const double> row) const {
+  AKS_CHECK(fitted(), "kNN used before fit");
+  AKS_CHECK(row.size() == train_.cols(), "feature count changed");
+  const std::size_t n = train_.rows();
+  std::vector<double> dists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dists[i] = squared_distance(train_.row(i), row);
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto kth = static_cast<std::ptrdiff_t>(k_);
+  std::partial_sort(idx.begin(), idx.begin() + kth, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      // Tie-break on index for determinism.
+                      return dists[a] < dists[b] ||
+                             (dists[a] == dists[b] && a < b);
+                    });
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (int i = 0; i < k_; ++i) {
+    ++votes[static_cast<std::size_t>(labels_[idx[static_cast<std::size_t>(i)]])];
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+std::vector<int> KnnClassifier::predict(const common::Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+}  // namespace aks::ml

@@ -1,0 +1,33 @@
+// k-nearest-neighbour classifier (brute force, Euclidean).
+//
+// The paper's 1NearestNeighbor and 3NearestNeighbors selector baselines.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 1);
+
+  void fit(const common::Matrix& x, const std::vector<int>& y,
+           int num_classes = 0);
+
+  [[nodiscard]] bool fitted() const { return !labels_.empty(); }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+  [[nodiscard]] int predict_row(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const common::Matrix& x) const;
+
+ private:
+  int k_;
+  int num_classes_ = 0;
+  common::Matrix train_;
+  std::vector<int> labels_;
+};
+
+}  // namespace aks::ml

@@ -1,0 +1,182 @@
+#include "ml/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace aks::ml {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  AKS_CHECK(a.cols() == b.rows(), "matmul: " << a.rows() << "x" << a.cols()
+            << " * " << b.rows() << "x" << b.cols());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  AKS_CHECK(a.cols() == x.size(), "matvec: " << a.rows() << "x" << a.cols()
+            << " * vec(" << x.size() << ")");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  AKS_CHECK(a.size() == b.size(), "dot: size mismatch " << a.size() << " vs "
+            << b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  AKS_CHECK(a.size() == b.size(), "distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+std::vector<double> column_means(const Matrix& x) {
+  AKS_CHECK(x.rows() > 0, "column_means of empty matrix");
+  std::vector<double> means(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) means[c] += row[c];
+  }
+  for (auto& m : means) m /= static_cast<double>(x.rows());
+  return means;
+}
+
+Matrix center_columns(const Matrix& x, std::span<const double> means) {
+  AKS_CHECK(means.size() == x.cols(), "center_columns: mean size mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = x(r, c) - means[c];
+  return out;
+}
+
+Matrix covariance(const Matrix& x) {
+  AKS_CHECK(x.rows() >= 2, "covariance needs at least 2 rows");
+  const auto means = column_means(x);
+  const Matrix centered = center_columns(x, means);
+  const std::size_t d = x.cols();
+  Matrix cov(d, d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = centered.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < d; ++j) cov(i, j) += ri * row[j];
+    }
+  }
+  const double denom = static_cast<double>(x.rows() - 1);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+EigenResult symmetric_eigen(const Matrix& a, int max_sweeps,
+                            double tolerance) {
+  AKS_CHECK(a.rows() == a.cols(), "eigen of non-square matrix");
+  const std::size_t n = a.rows();
+  Matrix m = a;       // working copy, driven to diagonal form
+  Matrix v(n, n, 0.0);  // accumulated rotations (columns are eigenvectors)
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squared off-diagonal elements decides convergence.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    if (off <= tolerance * tolerance) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable Jacobi rotation (Golub & Van Loan 8.4).
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p);
+          const double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i);
+          const double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = m(i, i);
+  const auto order = common::argsort_descending(eigenvalues);
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors.resize(n, n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t src = order[rank];
+    result.eigenvalues[rank] = eigenvalues[src];
+    for (std::size_t i = 0; i < n; ++i)
+      result.eigenvectors(rank, i) = v(i, src);
+  }
+  return result;
+}
+
+Matrix pairwise_distances(const Matrix& x) {
+  const std::size_t n = x.rows();
+  Matrix d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = distance(x.row(i), x.row(j));
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace aks::ml

@@ -1,0 +1,62 @@
+#include "ml/model_selection.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace aks::ml {
+
+std::vector<Fold> k_fold(std::size_t n, int folds, std::uint64_t seed) {
+  AKS_CHECK(folds >= 2, "need at least 2 folds");
+  AKS_CHECK(n >= static_cast<std::size_t>(folds),
+            "need at least one row per fold");
+  common::Rng rng(seed);
+  const auto perm = rng.permutation(n);
+
+  std::vector<Fold> out(static_cast<std::size_t>(folds));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t fold = i % static_cast<std::size_t>(folds);
+    out[fold].validation.push_back(perm[i]);
+  }
+  for (auto& fold : out) {
+    std::sort(fold.validation.begin(), fold.validation.end());
+    fold.train.reserve(n - fold.validation.size());
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v < fold.validation.size() && fold.validation[v] == i) {
+        ++v;
+      } else {
+        fold.train.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+double cross_val_accuracy(const FitPredictFn& fit_predict,
+                          const common::Matrix& x, const std::vector<int>& y,
+                          int folds, std::uint64_t seed) {
+  AKS_CHECK(x.rows() == y.size(), "X/y size mismatch");
+  AKS_CHECK(fit_predict != nullptr, "fit_predict must be callable");
+  double total = 0.0;
+  const auto partitions = k_fold(x.rows(), folds, seed);
+  for (const auto& fold : partitions) {
+    const common::Matrix x_train = x.select_rows(fold.train);
+    const common::Matrix x_val = x.select_rows(fold.validation);
+    std::vector<int> y_train;
+    y_train.reserve(fold.train.size());
+    for (const std::size_t r : fold.train) y_train.push_back(y[r]);
+    std::vector<int> y_val;
+    y_val.reserve(fold.validation.size());
+    for (const std::size_t r : fold.validation) y_val.push_back(y[r]);
+
+    const auto predicted = fit_predict(x_train, y_train, x_val);
+    AKS_CHECK(predicted.size() == y_val.size(),
+              "fit_predict returned " << predicted.size()
+              << " labels for " << y_val.size() << " rows");
+    total += accuracy(y_val, predicted);
+  }
+  return total / static_cast<double>(partitions.size());
+}
+
+}  // namespace aks::ml

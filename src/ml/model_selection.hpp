@@ -1,0 +1,40 @@
+// Model-selection utilities: k-fold cross-validation over any classifier.
+//
+// The paper notes its models "fail to generalize" on the small dataset;
+// cross-validation is the standard way to see that without burning the test
+// set, and bench/ablation_hyperparams uses it to pick classifier
+// hyper-parameters honestly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+/// One train/validation partition of row indices.
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// Shuffled k-fold partition of [0, n). Every row appears in exactly one
+/// validation set; folds differ in size by at most one row.
+[[nodiscard]] std::vector<Fold> k_fold(std::size_t n, int folds,
+                                       std::uint64_t seed);
+
+/// Trains on each fold's train rows and scores accuracy on its validation
+/// rows. `fit_predict` receives (x_train, y_train, x_validation) and
+/// returns predicted labels for the validation rows.
+using FitPredictFn = std::function<std::vector<int>(
+    const common::Matrix&, const std::vector<int>&, const common::Matrix&)>;
+
+/// Mean validation accuracy across folds.
+[[nodiscard]] double cross_val_accuracy(const FitPredictFn& fit_predict,
+                                        const common::Matrix& x,
+                                        const std::vector<int>& y, int folds,
+                                        std::uint64_t seed);
+
+}  // namespace aks::ml

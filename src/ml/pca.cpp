@@ -1,0 +1,132 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+
+void Pca::fit(const common::Matrix& x) {
+  AKS_CHECK(x.rows() >= 2, "PCA needs at least 2 samples, got " << x.rows());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_ = column_means(x);
+  const common::Matrix centered = center_columns(x, mean_);
+
+  // At most min(n-1, d) components carry variance.
+  std::size_t max_components = std::min(n - 1, d);
+  if (n_components_ > 0) {
+    max_components =
+        std::min(max_components, static_cast<std::size_t>(n_components_));
+  }
+
+  std::vector<double> variances;   // eigenvalues of the covariance
+  common::Matrix axes;             // rows are principal axes in feature space
+
+  if (d <= n) {
+    // Covariance route: eigenvectors are the axes directly.
+    const auto eigen = symmetric_eigen(covariance(centered));
+    variances.assign(eigen.eigenvalues.begin(), eigen.eigenvalues.end());
+    axes = eigen.eigenvectors;
+  } else {
+    // Gram route: XX^T/(n-1) shares nonzero eigenvalues with the
+    // covariance; axes are X^T u / ||X^T u||.
+    common::Matrix gram(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i; j < n; ++j) {
+        const double g = dot(centered.row(i), centered.row(j)) /
+                         static_cast<double>(n - 1);
+        gram(i, j) = g;
+        gram(j, i) = g;
+      }
+    const auto eigen = symmetric_eigen(gram);
+    variances.assign(eigen.eigenvalues.begin(), eigen.eigenvalues.end());
+    axes.resize(n, d, 0.0);
+    for (std::size_t comp = 0; comp < n; ++comp) {
+      // axis = X^T * u_comp, then normalise.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double u = eigen.eigenvectors(comp, i);
+        if (u == 0.0) continue;
+        const auto row = centered.row(i);
+        for (std::size_t c = 0; c < d; ++c) axes(comp, c) += u * row[c];
+      }
+      const double len = norm(axes.row(comp));
+      if (len > 1e-12) {
+        for (std::size_t c = 0; c < d; ++c) axes(comp, c) /= len;
+      }
+    }
+  }
+
+  // Total variance for the ratio includes *all* variance, not only kept
+  // components.
+  double total = 0.0;
+  for (double v : variances) total += std::max(v, 0.0);
+
+  std::size_t kept = 0;
+  while (kept < max_components && kept < variances.size() &&
+         variances[kept] > 1e-12) {
+    ++kept;
+  }
+  AKS_CHECK(kept > 0, "PCA found no variance in the data");
+
+  components_.resize(kept, d);
+  explained_variance_.assign(variances.begin(),
+                             variances.begin() + static_cast<std::ptrdiff_t>(kept));
+  explained_variance_ratio_.resize(kept);
+  for (std::size_t i = 0; i < kept; ++i) {
+    std::copy(axes.row(i).begin(), axes.row(i).end(),
+              components_.row(i).begin());
+    explained_variance_ratio_[i] =
+        total > 0.0 ? explained_variance_[i] / total : 0.0;
+  }
+}
+
+std::size_t Pca::components_for_variance(double threshold) const {
+  AKS_CHECK(fitted(), "PCA used before fit");
+  AKS_CHECK(threshold > 0.0 && threshold <= 1.0,
+            "variance threshold must be in (0,1], got " << threshold);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < explained_variance_ratio_.size(); ++i) {
+    cumulative += explained_variance_ratio_[i];
+    if (cumulative >= threshold) return i + 1;
+  }
+  return explained_variance_ratio_.size();
+}
+
+common::Matrix Pca::transform(const common::Matrix& x) const {
+  AKS_CHECK(fitted(), "PCA used before fit");
+  AKS_CHECK(x.cols() == mean_.size(), "PCA: column count changed");
+  common::Matrix out(x.rows(), components_.rows());
+  std::vector<double> centered(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) centered[c] = row[c] - mean_[c];
+    for (std::size_t comp = 0; comp < components_.rows(); ++comp)
+      out(r, comp) = dot(components_.row(comp), centered);
+  }
+  return out;
+}
+
+common::Matrix Pca::inverse_transform(const common::Matrix& z) const {
+  AKS_CHECK(fitted(), "PCA used before fit");
+  AKS_CHECK(z.cols() == components_.rows(),
+            "inverse_transform: expected " << components_.rows()
+            << " components, got " << z.cols());
+  common::Matrix out(z.rows(), mean_.size());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    auto out_row = out.row(r);
+    std::copy(mean_.begin(), mean_.end(), out_row.begin());
+    for (std::size_t comp = 0; comp < components_.rows(); ++comp) {
+      const double weight = z(r, comp);
+      if (weight == 0.0) continue;
+      const auto axis = components_.row(comp);
+      for (std::size_t c = 0; c < out_row.size(); ++c)
+        out_row[c] += weight * axis[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace aks::ml

@@ -1,0 +1,78 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aks::ml {
+
+RandomForestClassifier::RandomForestClassifier(ForestOptions options)
+    : options_(options) {
+  AKS_CHECK(options_.n_trees > 0, "n_trees must be positive");
+  AKS_CHECK(options_.bootstrap_fraction > 0.0 &&
+                options_.bootstrap_fraction <= 1.0,
+            "bootstrap_fraction must be in (0,1]");
+}
+
+void RandomForestClassifier::fit(const common::Matrix& x,
+                                 const std::vector<int>& y, int num_classes) {
+  AKS_CHECK(x.rows() == y.size(), "X/y size mismatch");
+  AKS_CHECK(!y.empty(), "empty training set");
+  int max_label = 0;
+  for (const int label : y) max_label = std::max(max_label, label);
+  num_classes_ = num_classes > 0 ? num_classes : max_label + 1;
+
+  common::Rng rng(options_.seed);
+  const auto sample_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(
+             options_.bootstrap_fraction * static_cast<double>(x.rows()))));
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(options_.n_trees));
+  for (int t = 0; t < options_.n_trees; ++t) {
+    // Bootstrap sample (with replacement).
+    std::vector<std::size_t> rows(sample_count);
+    for (auto& r : rows) r = rng.uniform_index(x.rows());
+    common::Matrix xb = x.select_rows(rows);
+    std::vector<int> yb(sample_count);
+    for (std::size_t i = 0; i < sample_count; ++i) yb[i] = y[rows[i]];
+
+    TreeOptions topts = options_.tree;
+    if (topts.max_features == 0) {
+      topts.max_features = std::max(
+          1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+    }
+    topts.seed = rng.fork_seed();
+    DecisionTreeClassifier tree(topts);
+    tree.fit(xb, yb, num_classes_);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_row(
+    std::span<const double> row) const {
+  AKS_CHECK(fitted(), "forest used before fit");
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto proba = tree.predict_proba_row(row);
+    for (std::size_t c = 0; c < votes.size(); ++c) votes[c] += proba[c];
+  }
+  for (auto& v : votes) v /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+int RandomForestClassifier::predict_row(std::span<const double> row) const {
+  const auto votes = predict_proba_row(row);
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+std::vector<int> RandomForestClassifier::predict(const common::Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+}  // namespace aks::ml

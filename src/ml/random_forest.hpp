@@ -1,0 +1,44 @@
+// Random forest classifier: bagged CART trees with per-split feature
+// subsampling and majority voting. One of the Table I selector baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace aks::ml {
+
+struct ForestOptions {
+  int n_trees = 100;
+  /// Per-tree options. max_features 0 here means sqrt(num_features).
+  TreeOptions tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 0;
+};
+
+class RandomForestClassifier {
+ public:
+  explicit RandomForestClassifier(ForestOptions options = {});
+
+  void fit(const common::Matrix& x, const std::vector<int>& y,
+           int num_classes = 0);
+
+  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+  [[nodiscard]] int predict_row(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const common::Matrix& x) const;
+  /// Soft votes: mean of per-tree class probabilities.
+  [[nodiscard]] std::vector<double> predict_proba_row(
+      std::span<const double> row) const;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTreeClassifier> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace aks::ml

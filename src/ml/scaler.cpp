@@ -1,0 +1,46 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+
+void StandardScaler::fit(const common::Matrix& x) {
+  AKS_CHECK(x.rows() > 0, "StandardScaler::fit on empty matrix");
+  means_ = column_means(x);
+  scales_.assign(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - means_[c];
+      scales_[c] += d * d;
+    }
+  }
+  for (auto& s : scales_) {
+    s = std::sqrt(s / static_cast<double>(x.rows()));
+    if (s == 0.0) s = 1.0;  // constant column: leave values at zero offset
+  }
+}
+
+common::Matrix StandardScaler::transform(const common::Matrix& x) const {
+  AKS_CHECK(fitted(), "StandardScaler used before fit");
+  AKS_CHECK(x.cols() == means_.size(), "StandardScaler: column count changed");
+  common::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = (x(r, c) - means_[c]) / scales_[c];
+  return out;
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  AKS_CHECK(fitted(), "StandardScaler used before fit");
+  AKS_CHECK(row.size() == means_.size(), "StandardScaler: column count changed");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    out[c] = (row[c] - means_[c]) / scales_[c];
+  return out;
+}
+
+}  // namespace aks::ml

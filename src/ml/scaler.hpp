@@ -1,0 +1,39 @@
+// Feature standardisation (zero mean, unit variance per column).
+//
+// The paper's RadialSVM pathology (Section IV, Table I) stems from feeding
+// raw matrix dimensions to an RBF kernel; this scaler is what fixes it in
+// the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace aks::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation. Constant columns get a
+  /// unit scale so transform() is a no-op for them.
+  void fit(const common::Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return !means_.empty(); }
+
+  [[nodiscard]] common::Matrix transform(const common::Matrix& x) const;
+  [[nodiscard]] std::vector<double> transform_row(
+      std::span<const double> row) const;
+
+  [[nodiscard]] common::Matrix fit_transform(const common::Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace aks::ml

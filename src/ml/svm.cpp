@@ -1,0 +1,317 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+
+namespace {
+
+/// scikit-learn's gamma="scale": 1 / (n_features * Var(all entries of X)).
+double scale_gamma(const common::Matrix& x) {
+  double mean = 0.0;
+  for (const double v : x.data()) mean += v;
+  mean /= static_cast<double>(x.size());
+  double var = 0.0;
+  for (const double v : x.data()) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(x.size());
+  if (var <= 0.0) var = 1.0;
+  return 1.0 / (static_cast<double>(x.cols()) * var);
+}
+
+}  // namespace
+
+BinarySvm::BinarySvm(SvmOptions options) : options_(options) {
+  AKS_CHECK(options_.c > 0.0, "C must be positive");
+  AKS_CHECK(options_.tolerance > 0.0, "tolerance must be positive");
+}
+
+double BinarySvm::kernel(std::span<const double> a,
+                         std::span<const double> b) const {
+  switch (options_.kernel) {
+    case SvmKernel::kLinear:
+      return dot(a, b);
+    case SvmKernel::kRbf:
+      return std::exp(-gamma_ * squared_distance(a, b));
+  }
+  return 0.0;
+}
+
+void BinarySvm::fit(const common::Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  AKS_CHECK(n == y.size(), "X/y size mismatch");
+  AKS_CHECK(n >= 2, "SVM needs at least 2 samples");
+  for (const int label : y) {
+    AKS_CHECK(label == 1 || label == -1, "binary SVM labels must be +/-1");
+  }
+  if (options_.kernel == SvmKernel::kLinear) {
+    fit_linear(x, y);
+  } else {
+    fit_smo(x, y);
+  }
+}
+
+void BinarySvm::fit_linear(const common::Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  support_ = x;  // kept only so fitted() and introspection work uniformly
+  labels_ = y;
+  alpha_.assign(n, 0.0);
+  gamma_ = 0.0;
+  // Bias is modelled as an extra always-one feature (liblinear's default),
+  // so it is regularised along with the weights.
+  weights_.assign(d + 1, 0.0);
+
+  std::vector<double> q(n);  // Q_ii = ||x_i||^2 + 1 (bias feature)
+  for (std::size_t i = 0; i < n; ++i) q[i] = dot(x.row(i), x.row(i)) + 1.0;
+
+  common::Rng rng(options_.seed);
+  const double c = options_.c;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int pass = 0; pass < options_.max_iterations; ++pass) {
+    rng.shuffle(order);
+    double max_violation = 0.0;
+    for (const std::size_t i : order) {
+      // Gradient of the dual objective along alpha_i.
+      double wx = weights_[d];
+      const auto row = x.row(i);
+      for (std::size_t f = 0; f < d; ++f) wx += weights_[f] * row[f];
+      const double g = y[i] * wx - 1.0;
+      // Projected gradient decides whether the coordinate can move.
+      double pg = g;
+      if (alpha_[i] <= 0.0 && g > 0.0) pg = 0.0;
+      if (alpha_[i] >= c && g < 0.0) pg = 0.0;
+      max_violation = std::max(max_violation, std::abs(pg));
+      if (pg == 0.0) continue;
+      const double old = alpha_[i];
+      alpha_[i] = std::clamp(old - g / q[i], 0.0, c);
+      const double delta = (alpha_[i] - old) * y[i];
+      if (delta == 0.0) continue;
+      for (std::size_t f = 0; f < d; ++f) weights_[f] += delta * row[f];
+      weights_[d] += delta;
+    }
+    if (max_violation < options_.tolerance) break;
+  }
+  bias_ = weights_[d];
+}
+
+void BinarySvm::fit_smo(const common::Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  support_ = x;
+  labels_ = y;
+  alpha_.assign(n, 0.0);
+  weights_.clear();
+  bias_ = 0.0;
+  gamma_ = options_.gamma > 0.0 ? options_.gamma : scale_gamma(x);
+
+  // Cache the kernel matrix (n is small throughout this library).
+  common::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  // Minimum meaningful alpha step: alphas scale as 1/K, so with raw
+  // (unscaled) features and a linear kernel the optimum lives at alphas of
+  // order 1e-10 — an absolute step floor would reject every update and
+  // silently return the zero model. Scale the floor by the kernel diagonal.
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_diag += k(i, i);
+  mean_diag /= static_cast<double>(n);
+  const double step_floor = 1e-7 / std::max(1.0, mean_diag);
+
+  // Error cache: f(i) = sum_j alpha_j y_j K(j, i); E_i = f(i) + b - y_i.
+  // Updated incrementally after every successful alpha step, keeping each
+  // SMO sweep at O(n^2) total.
+  std::vector<double> f(n, 0.0);
+  auto error = [&](std::size_t i) { return f[i] + bias_ - labels_[i]; };
+
+  // Simplified SMO (Platt 1998 / Ng's CS229 variant): sweep examples, pick
+  // the partner maximising |E_i - E_j|.
+  common::Rng rng(options_.seed);
+  const double c = options_.c;
+  const double tol = options_.tolerance;
+  int stale_passes = 0;
+  for (int iter = 0;
+       iter < options_.max_iterations && stale_passes < options_.max_stale_passes;
+       ++iter) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = error(i);
+      const bool violates = (labels_[i] * ei < -tol && alpha_[i] < c) ||
+                            (labels_[i] * ei > tol && alpha_[i] > 0.0);
+      if (!violates) continue;
+
+      // Second-choice heuristic: maximise |E_i - E_j|, fall back to random.
+      std::size_t j = n;
+      double best_gap = -1.0;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (cand == i) continue;
+        const double gap = std::abs(ei - error(cand));
+        if (gap > best_gap) {
+          best_gap = gap;
+          j = cand;
+        }
+      }
+      if (j == n) {
+        j = rng.uniform_index(n - 1);
+        if (j >= i) ++j;
+      }
+      const double ej = error(j);
+
+      const double ai_old = alpha_[i];
+      const double aj_old = alpha_[j];
+      double lo = 0.0;
+      double hi = c;
+      if (labels_[i] == labels_[j]) {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      } else {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - labels_[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < step_floor) continue;
+      const double ai =
+          ai_old + labels_[i] * labels_[j] * (aj_old - aj);
+      alpha_[i] = ai;
+      alpha_[j] = aj;
+      const double di = (ai - ai_old) * labels_[i];
+      const double dj = (aj - aj_old) * labels_[j];
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        f[idx] += di * k(i, idx) + dj * k(j, idx);
+      }
+
+      const double b1 = bias_ - ei - labels_[i] * (ai - ai_old) * k(i, i) -
+                        labels_[j] * (aj - aj_old) * k(i, j);
+      const double b2 = bias_ - ej - labels_[i] * (ai - ai_old) * k(i, j) -
+                        labels_[j] * (aj - aj_old) * k(j, j);
+      if (ai > 0.0 && ai < c) {
+        bias_ = b1;
+      } else if (aj > 0.0 && aj < c) {
+        bias_ = b2;
+      } else {
+        bias_ = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    stale_passes = changed == 0 ? stale_passes + 1 : 0;
+  }
+}
+
+double BinarySvm::decision(std::span<const double> row) const {
+  AKS_CHECK(fitted(), "SVM used before fit");
+  if (!weights_.empty()) {
+    // Linear path: w . x + b with the bias stored as the last weight.
+    AKS_CHECK(row.size() + 1 == weights_.size(), "feature count changed");
+    double sum = weights_.back();
+    for (std::size_t f = 0; f < row.size(); ++f) sum += weights_[f] * row[f];
+    return sum;
+  }
+  double sum = bias_;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    if (alpha_[i] != 0.0) {
+      sum += alpha_[i] * labels_[i] * kernel(support_.row(i), row);
+    }
+  }
+  return sum;
+}
+
+int BinarySvm::predict_row(std::span<const double> row) const {
+  return decision(row) >= 0.0 ? 1 : -1;
+}
+
+std::size_t BinarySvm::num_support_vectors() const {
+  std::size_t count = 0;
+  for (const double a : alpha_) count += a != 0.0 ? 1 : 0;
+  return count;
+}
+
+SvmClassifier::SvmClassifier(SvmOptions options) : options_(options) {}
+
+void SvmClassifier::fit(const common::Matrix& x, const std::vector<int>& y,
+                        int num_classes) {
+  AKS_CHECK(x.rows() == y.size(), "X/y size mismatch");
+  AKS_CHECK(!y.empty(), "empty training set");
+  int max_label = 0;
+  for (const int label : y) {
+    AKS_CHECK(label >= 0, "negative class label");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = num_classes > 0 ? num_classes : max_label + 1;
+
+  machines_.clear();
+  class_present_.assign(static_cast<std::size_t>(num_classes_), false);
+  for (const int label : y) class_present_[static_cast<std::size_t>(label)] = true;
+
+  common::Rng seeder(options_.seed);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    SvmOptions opts = options_;
+    opts.seed = seeder.fork_seed();
+    BinarySvm machine(opts);
+    if (class_present_[static_cast<std::size_t>(cls)]) {
+      std::vector<int> binary(y.size());
+      bool has_positive = false;
+      bool has_negative = false;
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        binary[i] = y[i] == cls ? 1 : -1;
+        (binary[i] == 1 ? has_positive : has_negative) = true;
+      }
+      if (has_positive && has_negative) {
+        machine.fit(x, binary);
+      } else {
+        // Single-class training data: mark as absent so decisions fall
+        // through to other machines.
+        class_present_[static_cast<std::size_t>(cls)] = has_positive;
+      }
+    }
+    machines_.push_back(std::move(machine));
+  }
+}
+
+std::vector<double> SvmClassifier::decision_row(
+    std::span<const double> row) const {
+  AKS_CHECK(fitted(), "SVM used before fit");
+  std::vector<double> decisions(static_cast<std::size_t>(num_classes_),
+                                -std::numeric_limits<double>::infinity());
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const auto idx = static_cast<std::size_t>(cls);
+    if (!class_present_[idx]) continue;
+    if (machines_[idx].fitted()) {
+      decisions[idx] = machines_[idx].decision(row);
+    } else {
+      decisions[idx] = 0.0;  // only class seen in training
+    }
+  }
+  return decisions;
+}
+
+int SvmClassifier::predict_row(std::span<const double> row) const {
+  const auto decisions = decision_row(row);
+  return static_cast<int>(std::distance(
+      decisions.begin(), std::max_element(decisions.begin(), decisions.end())));
+}
+
+std::vector<int> SvmClassifier::predict(const common::Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+}  // namespace aks::ml

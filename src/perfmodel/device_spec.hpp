@@ -1,0 +1,75 @@
+// Performance-model device descriptors.
+//
+// The paper measured on an AMD R9 Nano; this repo has no GPU, so the device
+// is described by the architectural parameters that drive GEMM kernel
+// performance and the cost model in cost_model.hpp evaluates kernels against
+// them. Three devices are provided, matching the paper's motivation of
+// targeting "a range of heterogeneous devices from desktop GPUs to embedded
+// accelerators".
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+namespace aks::perf {
+
+struct DeviceSpec {
+  std::string name;
+
+  /// Number of compute units (CUs / shader cores / subslices).
+  int num_cus = 1;
+  /// Lanes per hardware wave (wavefront/warp/subgroup width).
+  int simd_width = 1;
+  /// Core clock in GHz.
+  double clock_ghz = 1.0;
+  /// Sustainable DRAM bandwidth in GB/s.
+  double dram_bw_gbps = 10.0;
+  /// Registers available per lane before occupancy starts dropping.
+  int registers_per_lane = 256;
+  /// Maximum resident waves per CU (occupancy ceiling).
+  int max_waves_per_cu = 40;
+  /// Maximum resident work-groups per CU (scheduling limit).
+  int max_groups_per_cu = 16;
+  /// Last-level cache size in bytes (operand re-read filtering).
+  std::size_t llc_bytes = 1 << 20;
+  /// Cache line / memory transaction size in bytes.
+  int cacheline_bytes = 64;
+  /// Fixed kernel launch overhead in seconds.
+  double launch_overhead_s = 8e-6;
+  /// Waves per SIMD scheduler needed to fully hide ALU latency.
+  double alu_hiding_waves = 4.0;
+  /// Waves per SIMD scheduler needed to fully saturate the memory system.
+  double mem_hiding_waves = 8.0;
+  /// Extra ALU cycles charged per accumulator-loop iteration (branch,
+  /// index arithmetic) — what a larger acc_size amortises away.
+  double loop_overhead_cycles = 10.0;
+
+  /// Peak single-precision throughput in FLOP/s (each lane one FMA/cycle).
+  [[nodiscard]] double peak_flops() const {
+    return static_cast<double>(num_cus) * simd_width * 2.0 * clock_ghz * 1e9;
+  }
+
+  /// The paper's benchmark platform: AMD R9 Nano (Fiji, GCN3).
+  /// 64 CUs, wave64, ~1.0 GHz, 4096-bit HBM at 512 GB/s, 256 VGPRs/lane.
+  static DeviceSpec amd_r9_nano();
+
+  /// An embedded accelerator in the Mali/PowerVR class: few cores, narrow
+  /// SIMD, LPDDR bandwidth, small register file.
+  static DeviceSpec embedded_accelerator();
+
+  /// A desktop integrated GPU in the Intel Gen9 class.
+  static DeviceSpec integrated_gpu();
+
+  /// Loads a device description from a `key = value` text file (one pair
+  /// per line; `#` comments). Unset keys keep the R9 Nano defaults, so a
+  /// file only needs the parameters that differ. Throws common::Error on
+  /// unknown keys or malformed values — a silently ignored typo would
+  /// produce a quietly wrong tuning dataset.
+  static DeviceSpec from_file(const std::filesystem::path& path);
+
+  /// Writes the spec in from_file() format (round-trips exactly).
+  void save(const std::filesystem::path& path) const;
+};
+
+}  // namespace aks::perf

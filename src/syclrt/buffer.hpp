@@ -1,0 +1,45 @@
+// Host-memory buffer mirroring sycl::buffer.
+//
+// The host runtime has a single address space, so accessors degenerate to
+// spans; the class still models SYCL's ownership rules: a buffer owns its
+// storage, kernels see it through explicit read/write accessors, and the
+// element count is fixed at construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aks::syclrt {
+
+template <typename T>
+class Buffer {
+ public:
+  explicit Buffer(std::size_t count, T init = T{}) : storage_(count, init) {}
+
+  /// Copy-in constructor (like sycl::buffer(host_ptr, range)).
+  explicit Buffer(std::span<const T> host_data)
+      : storage_(host_data.begin(), host_data.end()) {}
+
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+  /// Read-only accessor.
+  [[nodiscard]] std::span<const T> read() const { return storage_; }
+
+  /// Read-write accessor.
+  [[nodiscard]] std::span<T> write() { return storage_; }
+
+  /// Copies buffer contents back to a host range (like a host accessor).
+  void copy_to(std::span<T> dst) const {
+    AKS_CHECK(dst.size() == storage_.size(),
+              "copy_to size mismatch: " << dst.size() << " vs "
+              << storage_.size());
+    std::copy(storage_.begin(), storage_.end(), dst.begin());
+  }
+
+ private:
+  std::vector<T> storage_;
+};
+
+}  // namespace aks::syclrt

@@ -1,0 +1,29 @@
+// Device description for the host runtime.
+//
+// The host runtime executes on the CPU, but it carries the same queryable
+// properties a SYCL device exposes so library code (kernel launch heuristics,
+// the benchmark harness) is written against the device interface rather than
+// host assumptions. The *performance model* devices live in src/perfmodel;
+// this type describes the executing device.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace aks::syclrt {
+
+struct Device {
+  std::string name;
+  std::string vendor;
+  /// Number of parallel compute units (worker threads for the host device).
+  std::size_t compute_units = 1;
+  /// Maximum work-items per work-group the device accepts.
+  std::size_t max_work_group_size = 1024;
+  /// Local ("shared") memory available per work-group, in bytes.
+  std::size_t local_memory_bytes = 64 * 1024;
+
+  /// The host CPU device used for functional execution.
+  static Device host();
+};
+
+}  // namespace aks::syclrt

@@ -1,0 +1,49 @@
+// Per-work-item handle passed to kernels, mirroring sycl::nd_item.
+#pragma once
+
+#include "syclrt/range.hpp"
+
+namespace aks::syclrt {
+
+template <int Dims>
+class NdItem {
+ public:
+  NdItem(Id<Dims> group, Id<Dims> local, Range<Dims> local_range,
+         Range<Dims> logical_global)
+      : group_(group),
+        local_(local),
+        local_range_(local_range),
+        logical_global_(logical_global) {}
+
+  /// Global index (may exceed the logical global range when the executor
+  /// padded the launch to whole work-groups; kernels must guard).
+  [[nodiscard]] std::size_t get_global_id(int d) const {
+    return group_[d] * local_range_[d] + local_[d];
+  }
+
+  [[nodiscard]] std::size_t get_local_id(int d) const { return local_[d]; }
+  [[nodiscard]] std::size_t get_group(int d) const { return group_[d]; }
+  [[nodiscard]] std::size_t get_local_range(int d) const {
+    return local_range_[d];
+  }
+
+  /// The logical (unpadded) global range of the launch.
+  [[nodiscard]] std::size_t get_global_range(int d) const {
+    return logical_global_[d];
+  }
+
+  /// True when this item falls inside the logical global range.
+  [[nodiscard]] bool in_range() const {
+    for (int d = 0; d < Dims; ++d)
+      if (get_global_id(d) >= logical_global_[d]) return false;
+    return true;
+  }
+
+ private:
+  Id<Dims> group_;
+  Id<Dims> local_;
+  Range<Dims> local_range_;
+  Range<Dims> logical_global_;
+};
+
+}  // namespace aks::syclrt

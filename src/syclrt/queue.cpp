@@ -1,0 +1,32 @@
+#include "syclrt/queue.hpp"
+
+#include <thread>
+
+namespace aks::syclrt {
+
+Device Device::host() {
+  Device d;
+  d.name = "AKS host CPU";
+  d.vendor = "aks";
+  d.compute_units = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  d.max_work_group_size = 1024;
+  d.local_memory_bytes = 64 * 1024;
+  return d;
+}
+
+Queue::Queue(Device device, common::ThreadPool* pool)
+    : device_(std::move(device)),
+      pool_(pool != nullptr ? pool : &common::ThreadPool::global()) {}
+
+Event Queue::single_task(const std::function<void()>& task) {
+  common::Timer timer;
+  task();
+  Event event;
+  event.elapsed_seconds = timer.elapsed_seconds();
+  event.group_count = 1;
+  event.item_count = 1;
+  record(event);
+  return event;
+}
+
+}  // namespace aks::syclrt

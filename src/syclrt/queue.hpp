@@ -1,0 +1,181 @@
+// Execution queue mirroring sycl::queue for the host device.
+//
+// Two submission models are provided, matching SYCL:
+//
+//  * `parallel_for(nd_range, kernel)` — flat ND-range. Work-groups execute
+//    concurrently on the shared thread pool; work-items within a group run
+//    sequentially on one thread. Kernels must not rely on barriers in this
+//    model (the register-tiled GEMM family does not).
+//
+//  * `parallel_for_work_group(groups, group_size, body)` — hierarchical
+//    model. The body runs once per group and may call
+//    `WorkGroup::parallel_for_work_item` any number of times; each call is a
+//    full pass over the group's items, so the gap between two calls has
+//    work-group barrier semantics. Local memory is modelled by variables in
+//    the body's scope (one instance per group, shared by its items).
+//
+// Submissions are synchronous: the call returns once every work-group has
+// finished, and returns an Event carrying the measured wall time. A SYCL
+// queue is asynchronous, but the libraries in this repo always wait before
+// reading results, so a synchronous queue preserves observable behaviour
+// while keeping ownership simple.
+#pragma once
+
+#include <functional>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "syclrt/device.hpp"
+#include "syclrt/nd_item.hpp"
+#include "syclrt/range.hpp"
+
+namespace aks::syclrt {
+
+/// Completion record for a submission.
+struct Event {
+  /// Wall-clock execution time of the whole submission, in seconds.
+  double elapsed_seconds = 0.0;
+  /// Number of work-groups launched.
+  std::size_t group_count = 0;
+  /// Number of work-items launched (after padding to whole groups).
+  std::size_t item_count = 0;
+};
+
+/// Handle passed to hierarchical kernels; iterates this group's work-items.
+template <int Dims>
+class WorkGroup {
+ public:
+  WorkGroup(Id<Dims> group, Range<Dims> local_range,
+            Range<Dims> logical_global)
+      : group_(group), local_range_(local_range),
+        logical_global_(logical_global) {}
+
+  [[nodiscard]] std::size_t get_group(int d) const { return group_[d]; }
+  [[nodiscard]] std::size_t get_local_range(int d) const {
+    return local_range_[d];
+  }
+
+  /// Runs fn(item) for every work-item of this group. Consecutive calls are
+  /// separated by an implicit work-group barrier (sequential execution).
+  template <typename Fn>
+  void parallel_for_work_item(Fn&& fn) const {
+    if constexpr (Dims == 1) {
+      for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+        fn(NdItem<1>(group_, Id<1>(l0), local_range_, logical_global_));
+    } else if constexpr (Dims == 2) {
+      for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+        for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
+          fn(NdItem<2>(group_, Id<2>(l0, l1), local_range_, logical_global_));
+    } else {
+      for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+        for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
+          for (std::size_t l2 = 0; l2 < local_range_[2]; ++l2)
+            fn(NdItem<3>(group_, Id<3>(l0, l1, l2), local_range_,
+                         logical_global_));
+    }
+  }
+
+ private:
+  Id<Dims> group_;
+  Range<Dims> local_range_;
+  Range<Dims> logical_global_;
+};
+
+/// Running profiling totals of a queue (cleared with reset_profile()).
+struct QueueProfile {
+  std::size_t submissions = 0;
+  std::size_t groups_launched = 0;
+  std::size_t items_launched = 0;
+  double total_seconds = 0.0;
+};
+
+class Queue {
+ public:
+  /// Uses the process-global thread pool when `pool` is null.
+  explicit Queue(Device device = Device::host(),
+                 common::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  /// Accumulated profiling data across all submissions so far.
+  [[nodiscard]] const QueueProfile& profile() const { return profile_; }
+  void reset_profile() { profile_ = {}; }
+
+  /// Flat ND-range submission; see file comment for the execution contract.
+  template <int Dims, typename Kernel>
+  Event parallel_for(NdRange<Dims> range, Kernel&& kernel) {
+    validate(range);
+    const Range<Dims> groups = range.group_count();
+    const Range<Dims> local = range.local();
+    const Range<Dims> logical = range.global();
+    common::Timer timer;
+    for_each_group(groups, [&](Id<Dims> group) {
+      WorkGroup<Dims>(group, local, logical)
+          .parallel_for_work_item([&](const NdItem<Dims>& item) { kernel(item); });
+    });
+    Event event;
+    event.elapsed_seconds = timer.elapsed_seconds();
+    event.group_count = groups.size();
+    event.item_count = range.padded_global().size();
+    record(event);
+    return event;
+  }
+
+  /// Hierarchical submission: body(WorkGroup) runs once per group.
+  template <int Dims, typename Body>
+  Event parallel_for_work_group(Range<Dims> num_groups, Range<Dims> group_size,
+                                Body&& body) {
+    Range<Dims> logical;
+    for (int d = 0; d < Dims; ++d) logical[d] = num_groups[d] * group_size[d];
+    validate(NdRange<Dims>(logical, group_size));
+    common::Timer timer;
+    for_each_group(num_groups, [&](Id<Dims> group) {
+      body(WorkGroup<Dims>(group, group_size, logical));
+    });
+    Event event;
+    event.elapsed_seconds = timer.elapsed_seconds();
+    event.group_count = num_groups.size();
+    event.item_count = logical.size();
+    record(event);
+    return event;
+  }
+
+  /// Runs a single task on the queue's device.
+  Event single_task(const std::function<void()>& task);
+
+ private:
+  void record(const Event& event) {
+    ++profile_.submissions;
+    profile_.groups_launched += event.group_count;
+    profile_.items_launched += event.item_count;
+    profile_.total_seconds += event.elapsed_seconds;
+  }
+
+  template <int Dims>
+  void validate(const NdRange<Dims>& range) const {
+    AKS_CHECK(range.local().size() <= device_.max_work_group_size,
+              "work-group size " << range.local().size()
+              << " exceeds device limit " << device_.max_work_group_size);
+  }
+
+  /// Dispatches group indices across the pool (groups are independent).
+  template <int Dims, typename Fn>
+  void for_each_group(Range<Dims> groups, Fn&& fn) {
+    const std::size_t total = groups.size();
+    pool_->parallel_for(total, [&](std::size_t flat) {
+      Id<Dims> group;
+      std::size_t rem = flat;
+      for (int d = Dims - 1; d >= 0; --d) {
+        group[d] = rem % groups[d];
+        rem /= groups[d];
+      }
+      fn(group);
+    });
+  }
+
+  Device device_;
+  common::ThreadPool* pool_;
+  QueueProfile profile_;
+};
+
+}  // namespace aks::syclrt

@@ -1,0 +1,84 @@
+// Index-space types mirroring SYCL's range/id/nd_range.
+//
+// Only the 1-D and 2-D cases are exercised by the GEMM library, but the
+// types are dimension-templated like their SYCL counterparts so additional
+// kernels (e.g. 3-D batched GEMM) slot in without runtime changes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace aks::syclrt {
+
+template <int Dims>
+class Range {
+  static_assert(Dims >= 1 && Dims <= 3, "SYCL ranges are 1-3 dimensional");
+
+ public:
+  Range() { values_.fill(0); }
+
+  template <typename... Ts>
+    requires(sizeof...(Ts) == Dims)
+  explicit Range(Ts... vs) : values_{static_cast<std::size_t>(vs)...} {}
+
+  [[nodiscard]] std::size_t operator[](int d) const { return values_[static_cast<std::size_t>(d)]; }
+  [[nodiscard]] std::size_t& operator[](int d) { return values_[static_cast<std::size_t>(d)]; }
+
+  /// Total number of indices in the range.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 1;
+    for (auto v : values_) total *= v;
+    return total;
+  }
+
+  [[nodiscard]] bool operator==(const Range&) const = default;
+
+ private:
+  std::array<std::size_t, static_cast<std::size_t>(Dims)> values_;
+};
+
+template <int Dims>
+using Id = Range<Dims>;
+
+/// Global + local iteration space. Unlike core SYCL, the global range need
+/// not be a multiple of the local range: the executor pads the global range
+/// up to whole work-groups and kernels are expected to guard out-of-range
+/// items — the convention used by SYCL-DNN's kernel launchers.
+template <int Dims>
+class NdRange {
+ public:
+  NdRange(Range<Dims> global, Range<Dims> local)
+      : global_(global), local_(local) {
+    for (int d = 0; d < Dims; ++d) {
+      AKS_CHECK(local[d] > 0, "nd_range local dimension " << d << " is zero");
+      AKS_CHECK(global[d] > 0, "nd_range global dimension " << d << " is zero");
+    }
+  }
+
+  [[nodiscard]] Range<Dims> global() const { return global_; }
+  [[nodiscard]] Range<Dims> local() const { return local_; }
+
+  /// Number of work-groups per dimension (global rounded up to local).
+  [[nodiscard]] Range<Dims> group_count() const {
+    Range<Dims> out;
+    for (int d = 0; d < Dims; ++d)
+      out[d] = (global_[d] + local_[d] - 1) / local_[d];
+    return out;
+  }
+
+  /// Global range padded to a whole number of work-groups.
+  [[nodiscard]] Range<Dims> padded_global() const {
+    Range<Dims> groups = group_count();
+    Range<Dims> out;
+    for (int d = 0; d < Dims; ++d) out[d] = groups[d] * local_[d];
+    return out;
+  }
+
+ private:
+  Range<Dims> global_;
+  Range<Dims> local_;
+};
+
+}  // namespace aks::syclrt

@@ -1,0 +1,90 @@
+#include "tune/extended_space.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aks::tune {
+
+const std::vector<int>& vector_widths() {
+  static const std::vector<int> widths = {1, 2, 4};
+  return widths;
+}
+
+const std::vector<ExtendedConfig>& enumerate_extended_configs() {
+  static const std::vector<ExtendedConfig> configs = [] {
+    std::vector<ExtendedConfig> out;
+    out.reserve(gemm::enumerate_configs().size() * vector_widths().size());
+    for (const auto& base : gemm::enumerate_configs()) {
+      for (const int width : vector_widths()) {
+        out.push_back(ExtendedConfig{base, width});
+      }
+    }
+    return out;
+  }();
+  return configs;
+}
+
+std::size_t extended_config_index(const ExtendedConfig& config) {
+  const auto& widths = vector_widths();
+  const auto it = std::find(widths.begin(), widths.end(), config.vector_width);
+  AKS_CHECK(it != widths.end(),
+            "vector width " << config.vector_width << " not in {1,2,4}");
+  return gemm::config_index(config.base) * widths.size() +
+         static_cast<std::size_t>(std::distance(widths.begin(), it));
+}
+
+double predict_extended_seconds(const perf::CostModel& model,
+                                const ExtendedConfig& config,
+                                const gemm::GemmShape& shape) {
+  (void)extended_config_index(config);  // validates the width
+  const auto breakdown = model.evaluate(config.base, shape);
+
+  // The base model assumes loads vectorise up to width min(acc, 4) for A
+  // and min(col_tile, 4) for B. An explicit width w rescales the load
+  // instruction share of compute time by (implicit / w), clamped so a
+  // width wider than the contiguous run the kernel actually has buys
+  // nothing (the extra lanes read data the tile discards).
+  const double vw = config.vector_width;
+  const double usable_a = std::min<double>(config.base.acc_size, vw);
+  const double usable_b = std::min<double>(config.base.col_tile, vw);
+  const double implicit_a = std::min(config.base.acc_size, 4);
+  const double implicit_b = std::min(config.base.col_tile, 4);
+  // Load instructions are roughly proportional to 1/width; weight A and B
+  // streams equally (the model does not separate their instruction shares).
+  const double instr_scale =
+      0.5 * (implicit_a / usable_a + implicit_b / usable_b);
+  // Loads are a minority of compute time next to the FMAs; apply the scale
+  // to a fixed load share.
+  constexpr double kLoadShare = 0.30;
+  const double compute =
+      breakdown.compute_s * ((1.0 - kLoadShare) + kLoadShare * instr_scale);
+
+  // Memory side: wider vectors waste bandwidth when they overshoot the
+  // contiguous run (fetching discarded elements).
+  const double waste_a = vw / usable_a;
+  const double waste_b = vw / usable_b;
+  const double mem_scale = 0.5 * (waste_a + waste_b);
+  const double memory = breakdown.memory_s * std::max(1.0, 0.5 + 0.5 * mem_scale);
+
+  return std::max(compute, memory) + 0.15 * std::min(compute, memory) +
+         breakdown.launch_s;
+}
+
+ExtendedSearchResult exhaustive_extended_search(const perf::CostModel& model,
+                                                const gemm::GemmShape& shape) {
+  ExtendedSearchResult result;
+  result.best_value = std::numeric_limits<double>::max();
+  for (const auto& config : enumerate_extended_configs()) {
+    const double value = predict_extended_seconds(model, config, shape);
+    ++result.evaluations;
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best = config;
+    }
+  }
+  return result;
+}
+
+}  // namespace aks::tune

@@ -1,0 +1,71 @@
+// The extended kernel-parameter space the paper warns about.
+//
+// Section II: "Further parameters include the vector widths used to load
+// and store values from memory" — the case study fixes those to keep the
+// space brute-forceable (640 points), and Section V notes the approach must
+// eventually face spaces where that is "not feasible". This module models
+// that next step: the 640-point space crossed with explicit load/store
+// vector widths (1920 points), with a cost-model objective that accounts
+// for the vector width's effect on instruction count and coalescing. The
+// search strategies in search.hpp operate on it through the same Objective
+// interface; bench/ablation_extended_space compares budgets there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gemm/config.hpp"
+#include "gemm/shape.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace aks::tune {
+
+/// One point of the extended space: a base configuration plus an explicit
+/// vector width for global loads/stores.
+struct ExtendedConfig {
+  gemm::KernelConfig base;
+  /// Elements per vector load/store: 1, 2 or 4.
+  int vector_width = 1;
+
+  [[nodiscard]] std::string name() const {
+    return base.name() + "_v" + std::to_string(vector_width);
+  }
+  [[nodiscard]] bool operator==(const ExtendedConfig&) const = default;
+};
+
+/// The vector widths considered (1920 = 640 x 3 points total).
+[[nodiscard]] const std::vector<int>& vector_widths();
+
+/// All extended configurations in canonical order
+/// (index = config_index(base) * 3 + width index).
+[[nodiscard]] const std::vector<ExtendedConfig>& enumerate_extended_configs();
+
+/// Canonical index of an extended configuration.
+[[nodiscard]] std::size_t extended_config_index(const ExtendedConfig& config);
+
+/// Modelled execution time of an extended configuration: the base model's
+/// prediction adjusted for the explicit vector width — wider vectors cut
+/// load instruction counts and improve strided coalescing, but widths that
+/// exceed the accumulator/tile geometry waste bandwidth on unused lanes.
+[[nodiscard]] double predict_extended_seconds(const perf::CostModel& model,
+                                              const ExtendedConfig& config,
+                                              const gemm::GemmShape& shape);
+
+/// Objective over the extended space for the search strategies; the
+/// searcher still navigates by base-space coordinates, so this flattens the
+/// extended index into the objective: each base config is evaluated at its
+/// BEST vector width (the common auto-tuner practice of nesting cheap
+/// parameters inside the expensive search).
+using ExtendedObjective = std::function<double(const ExtendedConfig&)>;
+
+/// Exhaustive optimum over all 1920 points (the ground truth).
+struct ExtendedSearchResult {
+  ExtendedConfig best;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+};
+[[nodiscard]] ExtendedSearchResult exhaustive_extended_search(
+    const perf::CostModel& model, const gemm::GemmShape& shape);
+
+}  // namespace aks::tune

@@ -1,0 +1,76 @@
+// Parameter-space search strategies for kernel tuning.
+//
+// The paper brute-forces all 640 configurations and notes that "this is not
+// feasible for more general kernels that have significantly more parameters
+// ... more complex tuning algorithms have been proposed, such as basin
+// hopping and evolutionary algorithms" (citing Kernel Tuner). This module
+// implements those strategies over the configuration space so the trade-off
+// between search budget and solution quality can be studied on the same
+// case study (see bench/ablation_search_methods).
+//
+// The space is navigated through its four coordinates: row-tile index,
+// column-tile index, accumulator index (each 0..3 over {1,2,4,8}) and
+// work-group shape index (0..9). A "neighbour" differs by one step in one
+// coordinate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gemm/config.hpp"
+
+namespace aks::tune {
+
+/// Cost to minimise for a candidate configuration (e.g. modelled seconds).
+using Objective = std::function<double(const gemm::KernelConfig&)>;
+
+/// Outcome of a search run.
+struct SearchResult {
+  gemm::KernelConfig best;
+  double best_value = 0.0;
+  /// Total objective evaluations spent (cache misses only).
+  std::size_t evaluations = 0;
+  /// Best-so-far value after each evaluation (for budget/quality curves).
+  std::vector<double> trajectory;
+};
+
+/// Evaluates every configuration; the ground truth the others chase.
+[[nodiscard]] SearchResult exhaustive_search(const Objective& objective);
+
+/// Uniform random sampling without replacement up to `budget` evaluations.
+[[nodiscard]] SearchResult random_search(const Objective& objective,
+                                         std::size_t budget,
+                                         std::uint64_t seed);
+
+struct AnnealingOptions {
+  std::size_t budget = 100;
+  /// Initial temperature as a fraction of the first objective value.
+  double initial_temperature = 0.3;
+  /// Multiplicative cooling per step.
+  double cooling = 0.95;
+  /// Random restarts when a basin is exhausted (basin hopping).
+  int restarts = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Simulated annealing with restarts (a basin-hopping variant).
+[[nodiscard]] SearchResult simulated_annealing(const Objective& objective,
+                                               const AnnealingOptions& options);
+
+struct EvolutionOptions {
+  std::size_t budget = 100;
+  int population = 12;
+  /// Probability of mutating each coordinate of a child.
+  double mutation_rate = 0.25;
+  /// Tournament size for parent selection.
+  int tournament = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Steady-state genetic algorithm: tournament selection, uniform crossover
+/// over the four coordinates, per-coordinate step mutation.
+[[nodiscard]] SearchResult evolutionary_search(const Objective& objective,
+                                               const EvolutionOptions& options);
+
+}  // namespace aks::tune

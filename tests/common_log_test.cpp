@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace aks::common {
+namespace {
+
+/// The logger writes to stderr; these tests exercise the level filter
+/// machinery (the observable contract available without capturing stderr).
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsInfo) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  LogLevelGuard guard;
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, MacrosCompileAndRespectLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // These must not throw and must skip message construction below the
+  // threshold; the side-effect counter proves the laziness.
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  AKS_DEBUG("debug " << expensive());
+  AKS_INFO("info " << expensive());
+  AKS_WARN("warn " << expensive());
+  EXPECT_EQ(evaluations, 0);
+  AKS_ERROR("error " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace aks::common

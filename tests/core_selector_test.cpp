@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+#include "core/pruning.hpp"
+#include "core/selector.hpp"
+#include "dataset/benchmark_runner.hpp"
+
+namespace aks::select {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::ExtractionOptions extraction;
+    extraction.vgg_batches = {1};
+    extraction.resnet_batches = {1};
+    extraction.mobilenet_batches = {1};
+    const auto dataset = data::build_paper_dataset({}, extraction);
+    split_ = new data::DatasetSplit(dataset.split(0.8, 5));
+    DecisionTreePruner pruner;
+    allowed_ = new std::vector<std::size_t>(pruner.prune(split_->train, 8));
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    delete allowed_;
+    split_ = nullptr;
+    allowed_ = nullptr;
+  }
+  static const data::DatasetSplit& split() { return *split_; }
+  static const std::vector<std::size_t>& allowed() { return *allowed_; }
+
+ private:
+  static data::DatasetSplit* split_;
+  static std::vector<std::size_t>* allowed_;
+};
+
+data::DatasetSplit* SelectorTest::split_ = nullptr;
+std::vector<std::size_t>* SelectorTest::allowed_ = nullptr;
+
+/// Contract every selector must honour after fit().
+class SelectorContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorContract, SelectsOnlyAllowedConfigs) {
+  data::ExtractionOptions extraction;
+  extraction.vgg_batches = {1};
+  extraction.resnet_batches = {1};
+  extraction.mobilenet_batches = {1};
+  const auto dataset = data::build_paper_dataset({}, extraction);
+  const auto split = dataset.split(0.8, 5);
+  DecisionTreePruner pruner;
+  const auto allowed = pruner.prune(split.train, 6);
+
+  auto selectors = all_selectors(7);
+  auto& selector = selectors[static_cast<std::size_t>(GetParam())];
+  selector->fit(split.train, allowed);
+  EXPECT_EQ(selector->allowed(), allowed);
+
+  const std::set<std::size_t> allowed_set(allowed.begin(), allowed.end());
+  for (std::size_t r = 0; r < split.test.num_shapes(); ++r) {
+    const std::size_t chosen = selector->select(split.test.features().row(r));
+    EXPECT_EQ(allowed_set.count(chosen), 1u)
+        << selector->name() << " picked disallowed config " << chosen;
+  }
+  // Score is a valid relative performance.
+  const double score = selector_score(*selector, split.test);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  const double acc = selector_accuracy(*selector, split.test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+std::string selector_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"DTree",     "Forest",    "Knn1",
+                                "Knn3",      "LinearSvm", "RadialSvm"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSelectors, SelectorContract,
+                         ::testing::Range(0, 6), selector_case_name);
+
+TEST_F(SelectorTest, SelectorNamesMatchTableOne) {
+  const auto selectors = all_selectors();
+  ASSERT_EQ(selectors.size(), 6u);
+  EXPECT_EQ(selectors[0]->name(), "DecisionTree");
+  EXPECT_EQ(selectors[1]->name(), "RandomForest");
+  EXPECT_EQ(selectors[2]->name(), "1NearestNeighbor");
+  EXPECT_EQ(selectors[3]->name(), "3NearestNeighbors");
+  EXPECT_EQ(selectors[4]->name(), "LinearSVM");
+  EXPECT_EQ(selectors[5]->name(), "RadialSVM");
+}
+
+TEST_F(SelectorTest, TreeSelectorScoreBeatsSelectionCeilingFloor) {
+  DecisionTreeSelector selector;
+  selector.fit(split().train, allowed());
+  const double ceiling = pruning_ceiling(split().test, allowed());
+  const double achieved = selector_score(selector, split().test);
+  EXPECT_LE(achieved, ceiling + 1e-12);
+  // A trained tree must comfortably beat picking the worst allowed config.
+  double worst = 1.0;
+  for (std::size_t r = 0; r < split().test.num_shapes(); ++r) {
+    double row_worst = 1.0;
+    for (const std::size_t c : allowed()) {
+      row_worst = std::min(row_worst, split().test.scores()(r, c));
+    }
+    worst = std::min(worst, row_worst);
+  }
+  EXPECT_GT(achieved, worst);
+}
+
+TEST_F(SelectorTest, SelectConfigMapsShapeToFullConfig) {
+  DecisionTreeSelector selector;
+  selector.fit(split().train, allowed());
+  const auto config = selector.select_config({512, 256, 512});
+  // Must be one of the allowed configurations.
+  bool found = false;
+  for (const std::size_t c : allowed()) {
+    found = found || gemm::enumerate_configs()[c] == config;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SelectorTest, ScaledSelectorsApplyScaler) {
+  KnnSelector raw(1, false);
+  KnnSelector scaled(1, true);
+  raw.fit(split().train, allowed());
+  scaled.fit(split().train, allowed());
+  EXPECT_FALSE(raw.scales_features());
+  EXPECT_TRUE(scaled.scales_features());
+  // Both remain valid selectors.
+  EXPECT_GT(selector_score(raw, split().test), 0.0);
+  EXPECT_GT(selector_score(scaled, split().test), 0.0);
+}
+
+TEST_F(SelectorTest, FitWithEmptyConfigSetThrows) {
+  DecisionTreeSelector selector;
+  EXPECT_THROW(selector.fit(split().train, {}), common::Error);
+}
+
+TEST_F(SelectorTest, SelectorsAreDeterministicForSeed) {
+  for (int trial = 0; trial < 2; ++trial) {
+    auto a = all_selectors(11);
+    auto b = all_selectors(11);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i]->fit(split().train, allowed());
+      b[i]->fit(split().train, allowed());
+      for (std::size_t r = 0; r < split().test.num_shapes(); ++r) {
+        ASSERT_EQ(a[i]->select(split().test.features().row(r)),
+                  b[i]->select(split().test.features().row(r)))
+            << a[i]->name();
+      }
+    }
+  }
+}
+
+TEST_F(SelectorTest, SingleAllowedConfigAlwaysSelected) {
+  const std::vector<std::size_t> one = {allowed()[0]};
+  DecisionTreeSelector selector;
+  selector.fit(split().train, one);
+  for (std::size_t r = 0; r < split().test.num_shapes(); ++r) {
+    EXPECT_EQ(selector.select(split().test.features().row(r)), one[0]);
+  }
+}
+
+TEST_F(SelectorTest, EvaluationRejectsEmptyTestSet) {
+  DecisionTreeSelector selector;
+  selector.fit(split().train, allowed());
+  EXPECT_THROW((void)pruning_ceiling(split().test, {}), common::Error);
+}
+
+}  // namespace
+}  // namespace aks::select

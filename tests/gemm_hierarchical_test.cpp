@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gemm/hierarchical_kernel.hpp"
+#include "gemm/reference.hpp"
+#include "syclrt/queue.hpp"
+
+namespace aks::gemm {
+namespace {
+
+void check_against_reference(const GemmShape& shape, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> a(shape.m * shape.k);
+  std::vector<float> b(shape.k * shape.n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> expected(shape.m * shape.n);
+  reference_gemm(a, b, expected, shape);
+
+  syclrt::Queue queue;
+  std::vector<float> c(shape.m * shape.n, -7.0f);
+  hierarchical_gemm<8>(queue, a, b, c, shape);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-3f)
+        << shape.to_string() << " element " << i;
+  }
+}
+
+TEST(HierarchicalGemm, AlignedShape) { check_against_reference({32, 24, 16}, 1); }
+
+TEST(HierarchicalGemm, EdgeTilesInEveryDimension) {
+  check_against_reference({13, 11, 9}, 2);
+}
+
+TEST(HierarchicalGemm, KSmallerThanTile) { check_against_reference({16, 3, 16}, 3); }
+
+TEST(HierarchicalGemm, SingleRowAndColumn) {
+  check_against_reference({1, 40, 1}, 4);
+  check_against_reference({1, 8, 64}, 5);
+}
+
+TEST(HierarchicalGemm, DifferentTileSizes) {
+  const GemmShape shape{20, 20, 20};
+  common::Rng rng(6);
+  std::vector<float> a(shape.m * shape.k);
+  std::vector<float> b(shape.k * shape.n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> expected(shape.m * shape.n);
+  reference_gemm(a, b, expected, shape);
+
+  syclrt::Queue queue;
+  std::vector<float> c4(shape.m * shape.n);
+  hierarchical_gemm<4>(queue, a, b, c4, shape);
+  std::vector<float> c16(shape.m * shape.n);
+  hierarchical_gemm<16>(queue, a, b, c16, shape);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(c4[i], expected[i], 1e-3f);
+    ASSERT_NEAR(c16[i], expected[i], 1e-3f);
+  }
+}
+
+TEST(HierarchicalGemm, ValidatesOperands) {
+  syclrt::Queue queue;
+  std::vector<float> a(4), b(4), c(3);
+  EXPECT_THROW(hierarchical_gemm<8>(queue, a, b, c, GemmShape{2, 2, 2}),
+               common::Error);
+}
+
+}  // namespace
+}  // namespace aks::gemm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/cluster_metrics.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+namespace {
+
+Matrix blobs(std::size_t per_blob, double spread, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix x(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      x(b * per_blob + i, 0) = centers[b][0] + rng.normal(0, spread);
+      x(b * per_blob + i, 1) = centers[b][1] + rng.normal(0, spread);
+    }
+  }
+  return x;
+}
+
+std::vector<std::size_t> true_labels(std::size_t per_blob) {
+  std::vector<std::size_t> labels(3 * per_blob);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i / per_blob;
+  return labels;
+}
+
+TEST(Silhouette, HighForWellSeparatedBlobs) {
+  const Matrix x = blobs(15, 0.3, 1);
+  const double s = silhouette_score(x, true_labels(15));
+  EXPECT_GT(s, 0.8);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Silhouette, DropsWhenBlobsOverlap) {
+  const double tight = silhouette_score(blobs(15, 0.3, 2), true_labels(15));
+  const double loose = silhouette_score(blobs(15, 3.5, 2), true_labels(15));
+  EXPECT_GT(tight, loose);
+}
+
+TEST(Silhouette, BadLabellingScoresLow) {
+  const Matrix x = blobs(12, 0.3, 3);
+  // Labels orthogonal to the true structure.
+  std::vector<std::size_t> shuffled(x.rows());
+  for (std::size_t i = 0; i < shuffled.size(); ++i) shuffled[i] = i % 3;
+  const double good = silhouette_score(x, true_labels(12));
+  const double bad = silhouette_score(x, shuffled);
+  EXPECT_GT(good, bad + 0.5);
+}
+
+TEST(Silhouette, TrueKScoresBestOnKMeansLabels) {
+  const Matrix x = blobs(20, 0.4, 4);
+  double best_score = -2.0;
+  int best_k = 0;
+  for (const int k : {2, 3, 4, 5, 6}) {
+    KMeansOptions options;
+    options.n_clusters = k;
+    options.seed = 7;
+    KMeans km(options);
+    km.fit(x);
+    const double s = silhouette_score(x, km.labels());
+    if (s > best_score) {
+      best_score = s;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(best_k, 3);
+}
+
+TEST(DaviesBouldin, LowerForTighterClusters) {
+  const double tight = davies_bouldin_index(blobs(15, 0.3, 5), true_labels(15));
+  const double loose = davies_bouldin_index(blobs(15, 2.0, 5), true_labels(15));
+  EXPECT_LT(tight, loose);
+  EXPECT_GT(tight, 0.0);
+}
+
+TEST(ClusterMetrics, RejectBadInput) {
+  const Matrix x = blobs(5, 0.3, 6);
+  std::vector<std::size_t> one_cluster(x.rows(), 0);
+  EXPECT_THROW((void)silhouette_score(x, one_cluster), common::Error);
+  EXPECT_THROW((void)davies_bouldin_index(x, one_cluster), common::Error);
+  std::vector<std::size_t> short_labels(3, 0);
+  EXPECT_THROW((void)silhouette_score(x, short_labels), common::Error);
+}
+
+TEST(Silhouette, SingletonClustersContributeZero) {
+  // Two points in one cluster, one isolated singleton.
+  Matrix x{{0, 0}, {0.1, 0}, {10, 10}};
+  std::vector<std::size_t> labels{0, 0, 1};
+  const double s = silhouette_score(x, labels);
+  // The pair scores near 1; the singleton contributes 0; mean ~ 2/3.
+  EXPECT_GT(s, 0.6);
+  EXPECT_LT(s, 0.7);
+}
+
+}  // namespace
+}  // namespace aks::ml

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/linalg.hpp"
+
+namespace aks::ml {
+namespace {
+
+TEST(Linalg, MatmulKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Linalg, MatmulShapeMismatchThrows) {
+  EXPECT_THROW((void)matmul(Matrix(2, 3), Matrix(2, 3)), common::Error);
+}
+
+TEST(Linalg, MatvecMatchesMatmul) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const double x[] = {1, 0, -1};
+  const auto y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+  EXPECT_THROW((void)matvec(a, std::vector<double>{1.0}), common::Error);
+}
+
+TEST(Linalg, DotNormDistance) {
+  const double a[] = {3, 4};
+  const double b[] = {0, 0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25);
+  EXPECT_DOUBLE_EQ(norm(a), 5);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25);
+  EXPECT_THROW((void)dot(a, std::vector<double>{1.0}), common::Error);
+}
+
+TEST(Linalg, ColumnMeansAndCentering) {
+  const Matrix x{{1, 10}, {3, 20}};
+  const auto means = column_means(x);
+  EXPECT_DOUBLE_EQ(means[0], 2);
+  EXPECT_DOUBLE_EQ(means[1], 15);
+  const Matrix centered = center_columns(x, means);
+  EXPECT_DOUBLE_EQ(centered(0, 0), -1);
+  EXPECT_DOUBLE_EQ(centered(1, 1), 5);
+  const auto new_means = column_means(centered);
+  EXPECT_NEAR(new_means[0], 0, 1e-15);
+  EXPECT_NEAR(new_means[1], 0, 1e-15);
+}
+
+TEST(Linalg, CovarianceDiagonalIsVariance) {
+  const Matrix x{{1, 0}, {2, 0}, {3, 0}};
+  const Matrix cov = covariance(x);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);  // var{1,2,3} = 1 (n-1 denom)
+  EXPECT_DOUBLE_EQ(cov(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 0.0);
+}
+
+TEST(Linalg, CovarianceIsSymmetric) {
+  common::Rng rng(1);
+  Matrix x(20, 5);
+  for (auto& v : x.data()) v = rng.normal();
+  const Matrix cov = covariance(x);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(cov(i, j), cov(j, i));
+}
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSorted) {
+  const Matrix a{{2, 0, 0}, {0, 5, 0}, {0, 0, 1}};
+  const auto result = symmetric_eigen(a);
+  ASSERT_EQ(result.eigenvalues.size(), 3u);
+  EXPECT_NEAR(result.eigenvalues[0], 5, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 2, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[2], 1, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2, 1}, {1, 2}};
+  const auto result = symmetric_eigen(a);
+  EXPECT_NEAR(result.eigenvalues[0], 3, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 1, 1e-10);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(result.eigenvectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(result.eigenvectors(0, 1)), inv_sqrt2, 1e-10);
+}
+
+TEST(Eigen, ReconstructsRandomSymmetricMatrix) {
+  common::Rng rng(7);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  const auto result = symmetric_eigen(a);
+  // A v_i = lambda_i v_i for every eigenpair.
+  for (std::size_t comp = 0; comp < n; ++comp) {
+    const auto av = matvec(a, result.eigenvectors.row(comp));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], result.eigenvalues[comp] * result.eigenvectors(comp, i),
+                  1e-8);
+    }
+  }
+}
+
+TEST(Eigen, EigenvectorsAreOrthonormal) {
+  common::Rng rng(9);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      a(j, i) = a(i, j);
+    }
+  const auto result = symmetric_eigen(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(dot(result.eigenvectors.row(i), result.eigenvectors.row(j)),
+                  expected, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, TraceEqualsEigenvalueSum) {
+  common::Rng rng(3);
+  const std::size_t n = 10;
+  Matrix a(n, n);
+  double trace = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+    trace += a(i, i);
+  }
+  const auto result = symmetric_eigen(a);
+  double sum = 0;
+  for (const double v : result.eigenvalues) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(Eigen, NonSquareThrows) {
+  EXPECT_THROW((void)symmetric_eigen(Matrix(2, 3)), common::Error);
+}
+
+TEST(Linalg, PairwiseDistancesProperties) {
+  const Matrix x{{0, 0}, {3, 4}, {6, 8}};
+  const Matrix d = pairwise_distances(x);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 5);
+  EXPECT_DOUBLE_EQ(d(1, 0), 5);
+  EXPECT_DOUBLE_EQ(d(0, 2), 10);
+  // Triangle inequality on this collinear set is tight.
+  EXPECT_NEAR(d(0, 2), d(0, 1) + d(1, 2), 1e-12);
+}
+
+}  // namespace
+}  // namespace aks::ml

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/linalg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace aks::ml {
+namespace {
+
+/// Labels determined by two axis-aligned thresholds — exactly learnable by
+/// a depth-2 tree.
+void threshold_problem(std::size_t n, std::uint64_t seed, Matrix& x,
+                       std::vector<int>& y) {
+  common::Rng rng(seed);
+  x.resize(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 100);
+    x(i, 1) = rng.uniform(0, 100);
+    y[i] = x(i, 0) <= 50 ? (x(i, 1) <= 30 ? 0 : 1) : 2;
+  }
+}
+
+TEST(TreeClassifier, LearnsThresholdProblemExactly) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(200, 1, x, y);
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(accuracy(y, tree.predict(x)), 1.0);
+  EXPECT_EQ(tree.num_classes(), 3);
+}
+
+TEST(TreeClassifier, GeneralisesToFreshSamples) {
+  Matrix x_train, x_test;
+  std::vector<int> y_train, y_test;
+  threshold_problem(300, 2, x_train, y_train);
+  threshold_problem(100, 3, x_test, y_test);
+  DecisionTreeClassifier tree;
+  tree.fit(x_train, y_train);
+  EXPECT_GT(accuracy(y_test, tree.predict(x_test)), 0.95);
+}
+
+TEST(TreeClassifier, MaxLeafNodesLimitsLeaves) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(200, 4, x, y);
+  for (int budget : {2, 3, 5, 10}) {
+    TreeOptions options;
+    options.max_leaf_nodes = budget;
+    DecisionTreeClassifier tree(options);
+    tree.fit(x, y);
+    EXPECT_LE(tree.num_leaves(), static_cast<std::size_t>(budget));
+    EXPECT_GE(tree.num_leaves(), 2u);
+  }
+}
+
+TEST(TreeClassifier, MaxDepthLimitsDepth) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(200, 5, x, y);
+  TreeOptions options;
+  options.max_depth = 1;  // a stump
+  DecisionTreeClassifier tree(options);
+  tree.fit(x, y);
+  EXPECT_LE(tree.num_leaves(), 2u);
+}
+
+TEST(TreeClassifier, MinSamplesLeafRespected) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(100, 6, x, y);
+  TreeOptions options;
+  options.min_samples_leaf = 20;
+  DecisionTreeClassifier tree(options);
+  tree.fit(x, y);
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      EXPECT_GE(node.n_samples, 20u);
+    }
+  }
+}
+
+TEST(TreeClassifier, PureNodeDoesNotSplit) {
+  Matrix x{{1}, {2}, {3}, {4}};
+  std::vector<int> y{0, 0, 0, 0};
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.predict_row(x.row(2)), 0);
+}
+
+TEST(TreeClassifier, ProbabilitiesSumToOne) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(150, 7, x, y);
+  TreeOptions options;
+  options.max_leaf_nodes = 3;
+  DecisionTreeClassifier tree(options);
+  tree.fit(x, y);
+  const auto proba = tree.predict_proba_row(x.row(0));
+  double total = 0;
+  for (const double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TreeClassifier, RejectsMalformedInput) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.fit(Matrix(3, 2), {0, 1}), common::Error);
+  EXPECT_THROW(tree.fit(Matrix(2, 2), {0, -1}), common::Error);
+  EXPECT_THROW(tree.fit(Matrix(2, 2), {0, 5}, 2), common::Error);
+  TreeOptions bad;
+  bad.max_leaf_nodes = 1;
+  EXPECT_THROW(DecisionTreeClassifier{bad}, common::Error);
+  EXPECT_THROW((void)tree.predict_row(std::vector<double>{1.0, 2.0}),
+               common::Error);
+}
+
+TEST(TreeRegressor, FitsPiecewiseConstantExactly) {
+  // y = 10 for x <= 5, else -3.
+  Matrix x(40, 1);
+  Matrix y(40, 1);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = static_cast<double>(i) * 0.25;
+    y(i, 0) = x(i, 0) <= 5.0 ? 10.0 : -3.0;
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  const double probe_low[] = {2.0};
+  const double probe_high[] = {8.0};
+  EXPECT_DOUBLE_EQ(tree.predict_row(probe_low)[0], 10.0);
+  EXPECT_DOUBLE_EQ(tree.predict_row(probe_high)[0], -3.0);
+}
+
+TEST(TreeRegressor, MultiOutputLeafValuesAreMeans) {
+  // Two distinct regimes; each leaf value must equal the regime mean of
+  // BOTH outputs simultaneously.
+  Matrix x(20, 1);
+  Matrix y(20, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    const bool low = i < 10;
+    y(i, 0) = low ? 1.0 : 5.0;
+    y(i, 1) = low ? -2.0 : 7.0;
+  }
+  TreeOptions options;
+  options.max_leaf_nodes = 2;
+  DecisionTreeRegressor tree(options);
+  tree.fit(x, y);
+  const auto leaves = tree.leaf_values();
+  ASSERT_EQ(leaves.size(), 2u);
+  // One leaf is (1,-2), the other (5,7).
+  const bool first_is_low = leaves[0][0] < 3.0;
+  const auto& low_leaf = first_is_low ? leaves[0] : leaves[1];
+  const auto& high_leaf = first_is_low ? leaves[1] : leaves[0];
+  EXPECT_DOUBLE_EQ(low_leaf[0], 1.0);
+  EXPECT_DOUBLE_EQ(low_leaf[1], -2.0);
+  EXPECT_DOUBLE_EQ(high_leaf[0], 5.0);
+  EXPECT_DOUBLE_EQ(high_leaf[1], 7.0);
+}
+
+TEST(TreeRegressor, BestFirstGrowthSpendsBudgetOnBiggestGain) {
+  // One huge step (at x=50) and one tiny step (at x=25). With 2 leaves the
+  // tree must split on the huge step first.
+  Matrix x(100, 1);
+  Matrix y(100, 1);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y(i, 0) = (i >= 50 ? 100.0 : 0.0) + (i >= 25 ? 0.5 : 0.0);
+  }
+  TreeOptions options;
+  options.max_leaf_nodes = 2;
+  DecisionTreeRegressor tree(options);
+  tree.fit(x, y);
+  ASSERT_FALSE(tree.nodes().empty());
+  EXPECT_NEAR(tree.nodes()[0].threshold, 49.5, 0.6);
+}
+
+TEST(TreeRegressor, PredictMatrixMatchesRows) {
+  common::Rng rng(3);
+  Matrix x(30, 2);
+  Matrix y(30, 3);
+  for (auto& v : x.data()) v = rng.uniform(0, 10);
+  for (auto& v : y.data()) v = rng.normal();
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  const Matrix pred = tree.predict(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto& row_pred = tree.predict_row(x.row(r));
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(pred(r, c), row_pred[c]);
+    }
+  }
+}
+
+TEST(TreeRegressor, LeafCountNeverExceedsSamples) {
+  common::Rng rng(9);
+  Matrix x(25, 2);
+  Matrix y(25, 1);
+  for (auto& v : x.data()) v = rng.uniform(0, 1);
+  for (auto& v : y.data()) v = rng.normal();
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_LE(tree.num_leaves(), 25u);
+}
+
+TEST(FeatureImportances, CreditTheInformativeFeature) {
+  // y depends only on feature 0; feature 1 is noise.
+  common::Rng rng(31);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(0, 100);
+    x(i, 1) = rng.uniform(0, 100);
+    y[i] = x(i, 0) <= 50 ? 0 : 1;
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  const auto importances = feature_importances(tree.nodes(), 2);
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.95);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(FeatureImportances, SumToOneOnMultiFeatureTree) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(200, 32, x, y);
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  const auto importances = feature_importances(tree.nodes(), 2);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+  // Both features carry signal in this problem.
+  EXPECT_GT(importances[0], 0.1);
+  EXPECT_GT(importances[1], 0.1);
+}
+
+TEST(FeatureImportances, PureLeafTreeHasZeroVector) {
+  Matrix x{{1}, {2}};
+  std::vector<int> y{0, 0};
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  const auto importances = feature_importances(tree.nodes(), 1);
+  EXPECT_DOUBLE_EQ(importances[0], 0.0);
+  EXPECT_THROW((void)feature_importances({}, 1), common::Error);
+}
+
+TEST(Forest, BeatsOrMatchesSingleStumpOnNoisyProblem) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(300, 10, x, y);
+  // Flip some labels to add noise.
+  common::Rng rng(11);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (rng.uniform() < 0.1) y[i] = static_cast<int>(rng.uniform_index(3));
+  }
+  Matrix x_test;
+  std::vector<int> y_test;
+  threshold_problem(100, 12, x_test, y_test);
+
+  ForestOptions options;
+  options.n_trees = 30;
+  options.seed = 5;
+  RandomForestClassifier forest(options);
+  forest.fit(x, y);
+  EXPECT_GT(accuracy(y_test, forest.predict(x_test)), 0.85);
+  EXPECT_EQ(forest.num_trees(), 30u);
+}
+
+TEST(Forest, DeterministicForSeed) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(100, 13, x, y);
+  ForestOptions options;
+  options.n_trees = 10;
+  options.seed = 21;
+  RandomForestClassifier a(options);
+  a.fit(x, y);
+  RandomForestClassifier b(options);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Forest, ProbabilitiesSumToOne) {
+  Matrix x;
+  std::vector<int> y;
+  threshold_problem(100, 14, x, y);
+  RandomForestClassifier forest(ForestOptions{15, {}, 1.0, 3});
+  forest.fit(x, y);
+  const auto proba = forest.predict_proba_row(x.row(0));
+  double total = 0;
+  for (const double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Forest, RejectsBadOptions) {
+  ForestOptions zero;
+  zero.n_trees = 0;
+  EXPECT_THROW(RandomForestClassifier{zero}, common::Error);
+  ForestOptions frac;
+  frac.bootstrap_fraction = 0.0;
+  EXPECT_THROW(RandomForestClassifier{frac}, common::Error);
+}
+
+}  // namespace
+}  // namespace aks::ml

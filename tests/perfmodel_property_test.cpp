@@ -1,0 +1,85 @@
+// Property sweep: the cost model must be well-behaved over the ENTIRE
+// 640-point configuration space for a spread of realistic shapes — no
+// NaNs, no non-positive times, internally consistent breakdowns, and
+// deterministic. This is the surface every pruner/selector consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemm/config.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace aks::perf {
+namespace {
+
+class CostModelSweep : public ::testing::TestWithParam<gemm::GemmShape> {};
+
+TEST_P(CostModelSweep, EveryConfigurationIsWellBehaved) {
+  const gemm::GemmShape shape = GetParam();
+  for (const auto& device :
+       {DeviceSpec::amd_r9_nano(), DeviceSpec::embedded_accelerator()}) {
+    const CostModel model(device);
+    for (const auto& config : gemm::enumerate_configs()) {
+      const auto b = model.evaluate(config, shape);
+      ASSERT_TRUE(std::isfinite(b.total_s)) << config.name();
+      ASSERT_GT(b.total_s, 0.0) << config.name();
+      ASSERT_GE(b.total_s,
+                std::max(b.compute_s, b.memory_s) + b.launch_s - 1e-15)
+          << config.name();
+      ASSERT_GT(b.lane_utilization, 0.0) << config.name();
+      ASSERT_LE(b.lane_utilization, 1.0) << config.name();
+      ASSERT_GE(b.occupancy_waves, 0.9) << config.name();
+      ASSERT_LE(b.occupancy_waves,
+                static_cast<double>(device.max_waves_per_cu) + 1e-9)
+          << config.name();
+      ASSERT_GE(b.dram_bytes, shape.min_bytes() * 0.3) << config.name();
+      ASSERT_GT(b.flops_fraction, 0.0) << config.name();
+      ASSERT_LE(b.flops_fraction, 1.0) << config.name();
+    }
+  }
+}
+
+TEST_P(CostModelSweep, DeterministicAcrossCalls) {
+  const gemm::GemmShape shape = GetParam();
+  const CostModel model(DeviceSpec::amd_r9_nano());
+  // Spot check a diverse subset.
+  for (std::size_t c = 0; c < 640; c += 37) {
+    const auto& config = gemm::enumerate_configs()[c];
+    ASSERT_DOUBLE_EQ(model.predict_seconds(config, shape),
+                     model.predict_seconds(config, shape));
+  }
+}
+
+TEST_P(CostModelSweep, SomeConfigurationSpreadsExist) {
+  // The dataset's whole premise: configurations must differ meaningfully.
+  const gemm::GemmShape shape = GetParam();
+  const CostModel model(DeviceSpec::amd_r9_nano());
+  double best = 1e300;
+  double worst = 0.0;
+  for (const auto& config : gemm::enumerate_configs()) {
+    const double t = model.predict_seconds(config, shape);
+    best = std::min(best, t);
+    worst = std::max(worst, t);
+  }
+  EXPECT_GT(worst / best, 1.5) << "no performance spread for "
+                               << shape.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeShapes, CostModelSweep,
+    ::testing::Values(gemm::GemmShape{1, 4096, 1000},      // FC batch-1
+                      gemm::GemmShape{16, 25088, 4096},    // FC large
+                      gemm::GemmShape{49, 512, 512},       // small conv
+                      gemm::GemmShape{784, 1152, 128},     // mid conv
+                      gemm::GemmShape{12544, 576, 64},     // large conv
+                      gemm::GemmShape{200704, 27, 64},     // stem, tiny K
+                      gemm::GemmShape{3136, 256, 256},     // winograd-ish
+                      gemm::GemmShape{17, 33, 65}),        // nothing aligned
+    [](const auto& param_info) {
+      return "s" + std::to_string(param_info.param.m) + "x" +
+             std::to_string(param_info.param.k) + "x" +
+             std::to_string(param_info.param.n);
+    });
+
+}  // namespace
+}  // namespace aks::perf

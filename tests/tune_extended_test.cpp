@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tune/extended_space.hpp"
+#include "tune/search.hpp"
+
+namespace aks::tune {
+namespace {
+
+const perf::CostModel& model() {
+  static const perf::CostModel m(perf::DeviceSpec::amd_r9_nano());
+  return m;
+}
+
+TEST(ExtendedSpace, Has1920DistinctPoints) {
+  const auto& configs = enumerate_extended_configs();
+  EXPECT_EQ(configs.size(), 1920u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(extended_config_index(configs[i]), i);
+  }
+}
+
+TEST(ExtendedSpace, NamesCarryVectorWidth) {
+  const ExtendedConfig config{{4, 2, 8, 8, 32}, 2};
+  EXPECT_EQ(config.name(), "t4x2_a8_wg8x32_v2");
+}
+
+TEST(ExtendedSpace, RejectsUnknownWidth) {
+  const ExtendedConfig bad{{4, 2, 8, 8, 32}, 3};
+  EXPECT_THROW((void)extended_config_index(bad), common::Error);
+  EXPECT_THROW((void)predict_extended_seconds(model(), bad, {64, 64, 64}),
+               common::Error);
+}
+
+TEST(ExtendedSpace, PredictionsAreFiniteAndPositiveEverywhere) {
+  const gemm::GemmShape shape{784, 256, 128};
+  for (const auto& config : enumerate_extended_configs()) {
+    const double t = predict_extended_seconds(model(), config, shape);
+    ASSERT_GT(t, 0.0) << config.name();
+    ASSERT_TRUE(std::isfinite(t)) << config.name();
+  }
+}
+
+TEST(ExtendedSpace, WiderVectorsHelpUpToTheTileGeometry) {
+  // For a config whose accumulator and column tile support width 4, the
+  // wider load should never be slower on a compute-heavy shape.
+  const gemm::GemmShape shape{2048, 2048, 512};
+  const gemm::KernelConfig base{4, 4, 8, 8, 32};
+  const double v1 = predict_extended_seconds(model(), {base, 1}, shape);
+  const double v4 = predict_extended_seconds(model(), {base, 4}, shape);
+  EXPECT_LT(v4, v1);
+
+  // For a 1-wide tile, width 4 overshoots the contiguous run: it must not
+  // beat width 1 on a memory-bound shape.
+  const gemm::KernelConfig narrow{4, 1, 1, 8, 32};
+  const gemm::GemmShape mem_bound{8192, 2048, 64};
+  const double n1 = predict_extended_seconds(model(), {narrow, 1}, mem_bound);
+  const double n4 = predict_extended_seconds(model(), {narrow, 4}, mem_bound);
+  EXPECT_GE(n4, n1);
+}
+
+TEST(ExtendedSpace, ExhaustiveSearchCoversEverything) {
+  const auto result = exhaustive_extended_search(model(), {784, 128, 512});
+  EXPECT_EQ(result.evaluations, 1920u);
+  EXPECT_GT(result.best_value, 0.0);
+  // The optimum must be at least as good as every width of its own base.
+  for (const int width : vector_widths()) {
+    EXPECT_LE(result.best_value,
+              predict_extended_seconds(model(), {result.best.base, width},
+                                       {784, 128, 512}) +
+                  1e-15);
+  }
+}
+
+TEST(ExtendedSpace, NestedSearchFindsNearOptimum) {
+  const gemm::GemmShape shape{3136, 576, 128};
+  const auto truth = exhaustive_extended_search(model(), shape);
+  const Objective nested = [&](const gemm::KernelConfig& base) {
+    double best = 1e300;
+    for (const int width : vector_widths()) {
+      best = std::min(best,
+                      predict_extended_seconds(model(), {base, width}, shape));
+    }
+    return best;
+  };
+  EvolutionOptions options;
+  options.budget = 120;
+  options.seed = 1;
+  const auto found = evolutionary_search(nested, options);
+  EXPECT_LT(found.best_value, truth.best_value * 1.15);
+}
+
+}  // namespace
+}  // namespace aks::tune

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "tune/search.hpp"
+
+namespace aks::tune {
+namespace {
+
+/// A smooth synthetic objective with a unique known optimum at
+/// (rt=4, ct=4, acc=8, wg=(16,16)); distance-based so hill climbing works.
+double synthetic_objective(const gemm::KernelConfig& config) {
+  auto level = [](int v) { return std::log2(static_cast<double>(v)); };
+  const double d_rt = level(config.row_tile) - 2.0;
+  const double d_ct = level(config.col_tile) - 2.0;
+  const double d_acc = level(config.acc_size) - 3.0;
+  const double d_wg = level(config.wg_rows * config.wg_cols) - 8.0;
+  const double d_sq = level(config.wg_rows) - level(config.wg_cols);
+  return 1.0 + d_rt * d_rt + d_ct * d_ct + d_acc * d_acc + 0.5 * d_wg * d_wg +
+         0.25 * d_sq * d_sq;
+}
+
+/// Modelled-runtime objective on the R9 Nano for one realistic shape.
+Objective model_objective(const gemm::GemmShape& shape) {
+  static const perf::CostModel model(perf::DeviceSpec::amd_r9_nano());
+  return [shape](const gemm::KernelConfig& config) {
+    return model.predict_seconds(config, shape);
+  };
+}
+
+TEST(ExhaustiveSearch, FindsSyntheticOptimum) {
+  const auto result = exhaustive_search(synthetic_objective);
+  EXPECT_EQ(result.evaluations, 640u);
+  EXPECT_DOUBLE_EQ(result.best_value, 1.0);
+  EXPECT_EQ(result.best.row_tile, 4);
+  EXPECT_EQ(result.best.col_tile, 4);
+  EXPECT_EQ(result.best.acc_size, 8);
+  EXPECT_EQ(result.best.wg_rows, 16);
+  EXPECT_EQ(result.best.wg_cols, 16);
+}
+
+TEST(ExhaustiveSearch, TrajectoryIsMonotoneNonIncreasing) {
+  const auto result = exhaustive_search(synthetic_objective);
+  ASSERT_EQ(result.trajectory.size(), 640u);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_LE(result.trajectory[i], result.trajectory[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(result.trajectory.back(), result.best_value);
+}
+
+TEST(RandomSearch, RespectsBudgetAndIsDeterministic) {
+  const auto a = random_search(synthetic_objective, 50, 7);
+  const auto b = random_search(synthetic_objective, 50, 7);
+  EXPECT_LE(a.evaluations, 50u);
+  EXPECT_GT(a.evaluations, 25u);  // sampling without replacement mostly works
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(RandomSearch, FullBudgetMatchesExhaustive) {
+  const auto exhaustive = exhaustive_search(synthetic_objective);
+  const auto random = random_search(synthetic_objective, 640, 3);
+  // With budget == space size, random search (deduplicated) converges to
+  // the optimum if it manages to touch every point; allow a small slack
+  // because the attempt cap may stop it early.
+  EXPECT_LE(random.best_value, exhaustive.best_value * 1.2);
+}
+
+TEST(RandomSearch, MoreBudgetNeverHurts) {
+  const auto small = random_search(synthetic_objective, 10, 11);
+  const auto large = random_search(synthetic_objective, 200, 11);
+  EXPECT_LE(large.best_value, small.best_value);
+}
+
+TEST(SimulatedAnnealing, CompetitiveWithRandomAtEqualBudget) {
+  // In this tiny 4-D space random sampling is a strong baseline, so only
+  // competitiveness is asserted; averaged over seeds to avoid flakiness.
+  double annealing_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    AnnealingOptions options;
+    options.budget = 60;
+    options.seed = seed;
+    annealing_total += simulated_annealing(synthetic_objective, options).best_value;
+    random_total += random_search(synthetic_objective, 60, seed).best_value;
+  }
+  EXPECT_LE(annealing_total, random_total * 1.25);
+}
+
+TEST(SimulatedAnnealing, RespectsBudget) {
+  AnnealingOptions options;
+  options.budget = 30;
+  const auto result = simulated_annealing(synthetic_objective, options);
+  EXPECT_LE(result.evaluations, 30u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(SimulatedAnnealing, RejectsBadOptions) {
+  AnnealingOptions zero;
+  zero.budget = 0;
+  EXPECT_THROW((void)simulated_annealing(synthetic_objective, zero),
+               common::Error);
+  AnnealingOptions cooling;
+  cooling.cooling = 1.5;
+  EXPECT_THROW((void)simulated_annealing(synthetic_objective, cooling),
+               common::Error);
+}
+
+TEST(EvolutionarySearch, ConvergesNearOptimumOnSmoothObjective) {
+  EvolutionOptions options;
+  options.budget = 150;
+  options.seed = 5;
+  const auto result = evolutionary_search(synthetic_objective, options);
+  EXPECT_LE(result.evaluations, 150u);
+  // Optimum is 1.0; within 30% is a strong basin hit on 640 points.
+  EXPECT_LT(result.best_value, 1.3);
+}
+
+TEST(EvolutionarySearch, DeterministicForSeed) {
+  EvolutionOptions options;
+  options.budget = 80;
+  options.seed = 9;
+  const auto a = evolutionary_search(synthetic_objective, options);
+  const auto b = evolutionary_search(synthetic_objective, options);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+}
+
+TEST(EvolutionarySearch, RejectsBadOptions) {
+  EvolutionOptions pop;
+  pop.population = 1;
+  EXPECT_THROW((void)evolutionary_search(synthetic_objective, pop),
+               common::Error);
+}
+
+TEST(SearchOnCostModel, AllMethodsFindGoodConfigsForRealShape) {
+  // On the actual device model, each budgeted method should land within
+  // 25% of the exhaustive optimum for a large conv shape.
+  const auto objective = model_objective({3136, 576, 128});
+  const auto truth = exhaustive_search(objective);
+  ASSERT_GT(truth.best_value, 0.0);
+
+  const auto random = random_search(objective, 80, 1);
+  AnnealingOptions aopts;
+  aopts.budget = 80;
+  aopts.seed = 1;
+  const auto annealing = simulated_annealing(objective, aopts);
+  EvolutionOptions eopts;
+  eopts.budget = 80;
+  eopts.seed = 1;
+  const auto evolution = evolutionary_search(objective, eopts);
+
+  EXPECT_LT(random.best_value, truth.best_value * 1.25);
+  EXPECT_LT(annealing.best_value, truth.best_value * 1.25);
+  EXPECT_LT(evolution.best_value, truth.best_value * 1.25);
+}
+
+TEST(SearchOnCostModel, NonFiniteObjectiveIsRejected) {
+  const Objective bad = [](const gemm::KernelConfig&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  EXPECT_THROW((void)random_search(bad, 5, 1), common::Error);
+}
+
+}  // namespace
+}  // namespace aks::tune

@@ -1,0 +1,15 @@
+// Compile check: the umbrella header is self-contained and exposes the
+// full workflow with a single include.
+#include "aks.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, ExposesWholeWorkflow) {
+  // Touch one symbol from each layer; compilation is the real assertion.
+  EXPECT_EQ(aks::gemm::enumerate_configs().size(), 640u);
+  EXPECT_EQ(aks::tune::enumerate_extended_configs().size(), 1920u);
+  EXPECT_EQ(aks::select::to_string(aks::select::PruneMethod::kTopN), "TopN");
+  EXPECT_GT(aks::perf::DeviceSpec::amd_r9_nano().peak_flops(), 0.0);
+  aks::syclrt::Queue queue;
+  EXPECT_EQ(queue.profile().submissions, 0u);
+}

@@ -1,0 +1,238 @@
+// aks_tune — command-line driver for the automated kernel selection flow.
+//
+//   aks_tune dataset <out.csv>                  build + save the tuning dataset
+//   aks_tune prune   [options]                  choose a kernel set, print it
+//   aks_tune train   [options]                  full pipeline; save/emit selector
+//   aks_tune select  --selector <file> M K N    query a saved selector
+//   aks_tune report                             one-page tuning summary
+//
+// Common options:
+//   --dataset <file>     load a dataset saved by `aks_tune dataset` instead
+//                        of rebuilding (rebuild is the default; it is fast)
+//   --device <name>      r9nano | igpu | embedded       (default r9nano)
+//   --method <name>      topn | kmeans | hdbscan | pca-kmeans | dtree | agglo
+//   --selector-method    dtree | forest | 1nn | 3nn | linear-svm |
+//                        radial-svm | gbm
+//   --n <count>          kernel budget (default 8)
+//   --out <file>         where `train` writes the selector
+//   --emit-code          `train` prints the generated C++ selector
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/codegen.hpp"
+#include "core/pipeline.hpp"
+#include "core/serialize.hpp"
+#include "dataset/benchmark_runner.hpp"
+
+namespace {
+
+using namespace aks;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+  bool emit_code = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--emit-code") {
+      args.emit_code = true;
+    } else if (token.rfind("--", 0) == 0) {
+      AKS_CHECK(i + 1 < argc, "missing value for option " << token);
+      args.options[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+perf::DeviceSpec device_from(const Args& args) {
+  if (const auto file = args.options.find("device-file");
+      file != args.options.end()) {
+    return perf::DeviceSpec::from_file(file->second);
+  }
+  const auto it = args.options.find("device");
+  const std::string name = it == args.options.end() ? "r9nano" : it->second;
+  if (name == "r9nano") return perf::DeviceSpec::amd_r9_nano();
+  if (name == "igpu") return perf::DeviceSpec::integrated_gpu();
+  if (name == "embedded") return perf::DeviceSpec::embedded_accelerator();
+  AKS_FAIL("unknown device '" << name << "' (r9nano | igpu | embedded)");
+}
+
+select::PruneMethod prune_method_from(const Args& args) {
+  const auto it = args.options.find("method");
+  const std::string name = it == args.options.end() ? "dtree" : it->second;
+  if (name == "topn") return select::PruneMethod::kTopN;
+  if (name == "kmeans") return select::PruneMethod::kKMeans;
+  if (name == "hdbscan") return select::PruneMethod::kHdbscan;
+  if (name == "pca-kmeans") return select::PruneMethod::kPcaKMeans;
+  if (name == "dtree") return select::PruneMethod::kDecisionTree;
+  if (name == "agglo") return select::PruneMethod::kAgglomerative;
+  AKS_FAIL("unknown prune method '" << name << "'");
+}
+
+select::SelectorMethod selector_method_from(const Args& args) {
+  const auto it = args.options.find("selector-method");
+  const std::string name = it == args.options.end() ? "dtree" : it->second;
+  if (name == "dtree") return select::SelectorMethod::kDecisionTree;
+  if (name == "forest") return select::SelectorMethod::kRandomForest;
+  if (name == "1nn") return select::SelectorMethod::k1Nn;
+  if (name == "3nn") return select::SelectorMethod::k3Nn;
+  if (name == "linear-svm") return select::SelectorMethod::kLinearSvm;
+  if (name == "radial-svm") return select::SelectorMethod::kRadialSvm;
+  if (name == "gbm") return select::SelectorMethod::kGradientBoosting;
+  AKS_FAIL("unknown selector method '" << name << "'");
+}
+
+std::size_t budget_from(const Args& args) {
+  const auto it = args.options.find("n");
+  if (it == args.options.end()) return 8;
+  const int parsed = std::stoi(it->second);
+  AKS_CHECK(parsed >= 2 && parsed <= 640, "--n must be in 2..640");
+  return static_cast<std::size_t>(parsed);
+}
+
+data::PerfDataset dataset_from(const Args& args) {
+  const auto it = args.options.find("dataset");
+  if (it != args.options.end()) {
+    std::cerr << "loading dataset from " << it->second << "\n";
+    return data::PerfDataset::load(it->second);
+  }
+  std::cerr << "building dataset on " << device_from(args).name << "...\n";
+  return data::run_model_benchmarks(data::extract_all_shapes(),
+                                    device_from(args), {});
+}
+
+int cmd_dataset(const Args& args) {
+  AKS_CHECK(!args.positional.empty(), "usage: aks_tune dataset <out.csv>");
+  const auto dataset = dataset_from(args);
+  dataset.save(args.positional[0]);
+  std::cout << "wrote " << dataset.num_shapes() << " shapes x "
+            << dataset.num_configs() << " configs to " << args.positional[0]
+            << "\n";
+  return 0;
+}
+
+int cmd_prune(const Args& args) {
+  const auto dataset = dataset_from(args);
+  const auto split = dataset.split(0.8, 1);
+  const auto pruner = select::make_pruner(prune_method_from(args));
+  const auto configs = pruner->prune(split.train, budget_from(args));
+  std::cout << "method: " << pruner->name() << ", budget: " << configs.size()
+            << ", test ceiling: "
+            << 100.0 * select::pruning_ceiling(split.test, configs) << "%\n";
+  for (const auto& config : select::configs_of(configs)) {
+    std::cout << "  " << config.name() << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto dataset = dataset_from(args);
+  select::PipelineOptions options;
+  options.num_configs = budget_from(args);
+  options.prune_method = prune_method_from(args);
+  options.selector_method = selector_method_from(args);
+  const auto result = select::run_pipeline(dataset, options);
+
+  std::cout << "pruner " << select::to_string(options.prune_method)
+            << " + selector " << select::to_string(options.selector_method)
+            << " @ " << options.num_configs << " kernels\n"
+            << "  test ceiling:   " << 100.0 * result.ceiling << "%\n"
+            << "  test achieved:  " << 100.0 * result.achieved << "%\n"
+            << "  compiled kernels shipped: " << result.compiled_kernels
+            << "\n";
+
+  const auto* tree =
+      dynamic_cast<const select::DecisionTreeSelector*>(result.selector.get());
+  const auto out = args.options.find("out");
+  if (out != args.options.end()) {
+    AKS_CHECK(tree != nullptr,
+              "--out only supports the decision-tree selector");
+    select::save_selector(*tree, out->second);
+    std::cout << "  selector saved to " << out->second << "\n";
+  }
+  if (args.emit_code) {
+    AKS_CHECK(tree != nullptr,
+              "--emit-code only supports the decision-tree selector");
+    std::cout << select::generate_selector_code(*tree);
+  }
+  return 0;
+}
+
+int cmd_select(const Args& args) {
+  const auto file = args.options.find("selector");
+  AKS_CHECK(file != args.options.end() && args.positional.size() == 3,
+            "usage: aks_tune select --selector <file> M K N");
+  const auto selector = select::load_selector(file->second);
+  gemm::GemmShape shape;
+  shape.m = std::stoull(args.positional[0]);
+  shape.k = std::stoull(args.positional[1]);
+  shape.n = std::stoull(args.positional[2]);
+  std::cout << selector.select_config(shape).name() << "\n";
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto dataset = dataset_from(args);
+  const auto counts = dataset.optimal_counts();
+  std::size_t winners = 0;
+  for (const auto c : counts) winners += c > 0 ? 1u : 0u;
+  std::cout << "dataset: " << dataset.num_shapes() << " shapes, "
+            << dataset.num_configs() << " configs, " << winners
+            << " distinct winners\n";
+  for (const std::size_t n : {std::size_t{4}, std::size_t{8}, std::size_t{15}}) {
+    select::PipelineOptions options;
+    options.num_configs = n;
+    const auto result = select::run_pipeline(dataset, options);
+    std::cout << "  " << n << " kernels: ceiling "
+              << 100.0 * result.ceiling << "%, tree selector "
+              << 100.0 * result.achieved << "%\n";
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::cerr <<
+      "usage: aks_tune <command> [options]\n"
+      "commands:\n"
+      "  dataset <out.csv>   build and save the tuning dataset\n"
+      "  prune               choose a kernel set and print it\n"
+      "  train               full pipeline; --out/--emit-code to deploy\n"
+      "  select --selector <file> M K N\n"
+      "  report              one-page tuning summary\n"
+      "options: --dataset <csv> --device r9nano|igpu|embedded\n"
+      "         --device-file <key=value file> (see DeviceSpec::from_file)\n"
+      "         --method topn|kmeans|hdbscan|pca-kmeans|dtree|agglo\n"
+      "         --selector-method dtree|forest|1nn|3nn|linear-svm|radial-svm|gbm\n"
+      "         --n <budget> --out <file> --emit-code\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "dataset") return cmd_dataset(args);
+    if (args.command == "prune") return cmd_prune(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "select") return cmd_select(args);
+    if (args.command == "report") return cmd_report(args);
+    print_usage();
+    return args.command.empty() ? 1 : 2;
+  } catch (const aks::common::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
