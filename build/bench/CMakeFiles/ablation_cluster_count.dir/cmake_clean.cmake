@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_count.dir/ablation_cluster_count.cpp.o"
+  "CMakeFiles/ablation_cluster_count.dir/ablation_cluster_count.cpp.o.d"
+  "ablation_cluster_count"
+  "ablation_cluster_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

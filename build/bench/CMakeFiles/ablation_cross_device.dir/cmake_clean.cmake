@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_device.dir/ablation_cross_device.cpp.o"
+  "CMakeFiles/ablation_cross_device.dir/ablation_cross_device.cpp.o.d"
+  "ablation_cross_device"
+  "ablation_cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extended_space.dir/ablation_extended_space.cpp.o"
+  "CMakeFiles/ablation_extended_space.dir/ablation_extended_space.cpp.o.d"
+  "ablation_extended_space"
+  "ablation_extended_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extended_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

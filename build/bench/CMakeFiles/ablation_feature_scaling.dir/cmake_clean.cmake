@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_scaling.dir/ablation_feature_scaling.cpp.o"
+  "CMakeFiles/ablation_feature_scaling.dir/ablation_feature_scaling.cpp.o.d"
+  "ablation_feature_scaling"
+  "ablation_feature_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leave_one_network_out.dir/ablation_leave_one_network_out.cpp.o"
+  "CMakeFiles/ablation_leave_one_network_out.dir/ablation_leave_one_network_out.cpp.o.d"
+  "ablation_leave_one_network_out"
+  "ablation_leave_one_network_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leave_one_network_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_leave_one_network_out.
+# This may be replaced when dependencies are built.

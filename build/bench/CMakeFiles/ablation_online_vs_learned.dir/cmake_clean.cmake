@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online_vs_learned.dir/ablation_online_vs_learned.cpp.o"
+  "CMakeFiles/ablation_online_vs_learned.dir/ablation_online_vs_learned.cpp.o.d"
+  "ablation_online_vs_learned"
+  "ablation_online_vs_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_vs_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

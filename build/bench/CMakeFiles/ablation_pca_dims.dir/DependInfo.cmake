@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_pca_dims.cpp" "bench/CMakeFiles/ablation_pca_dims.dir/ablation_pca_dims.cpp.o" "gcc" "bench/CMakeFiles/ablation_pca_dims.dir/ablation_pca_dims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/aks_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/aks_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/aks_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/aks_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/syclrt/CMakeFiles/aks_syclrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/aks_conv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

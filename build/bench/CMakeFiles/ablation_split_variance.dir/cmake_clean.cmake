@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_variance.dir/ablation_split_variance.cpp.o"
+  "CMakeFiles/ablation_split_variance.dir/ablation_split_variance.cpp.o.d"
+  "ablation_split_variance"
+  "ablation_split_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

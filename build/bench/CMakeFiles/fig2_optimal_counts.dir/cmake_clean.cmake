@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_optimal_counts.dir/fig2_optimal_counts.cpp.o"
+  "CMakeFiles/fig2_optimal_counts.dir/fig2_optimal_counts.cpp.o.d"
+  "fig2_optimal_counts"
+  "fig2_optimal_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_optimal_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pca_variance.dir/fig3_pca_variance.cpp.o"
+  "CMakeFiles/fig3_pca_variance.dir/fig3_pca_variance.cpp.o.d"
+  "fig3_pca_variance"
+  "fig3_pca_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pca_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pruning_methods.dir/fig4_pruning_methods.cpp.o"
+  "CMakeFiles/fig4_pruning_methods.dir/fig4_pruning_methods.cpp.o.d"
+  "fig4_pruning_methods"
+  "fig4_pruning_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pruning_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_kernels.dir/gemm_kernels.cpp.o"
+  "CMakeFiles/gemm_kernels.dir/gemm_kernels.cpp.o.d"
+  "gemm_kernels"
+  "gemm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

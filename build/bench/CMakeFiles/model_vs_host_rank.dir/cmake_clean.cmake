@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_host_rank.dir/model_vs_host_rank.cpp.o"
+  "CMakeFiles/model_vs_host_rank.dir/model_vs_host_rank.cpp.o.d"
+  "model_vs_host_rank"
+  "model_vs_host_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_host_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

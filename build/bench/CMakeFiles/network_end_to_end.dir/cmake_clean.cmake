@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_end_to_end.dir/network_end_to_end.cpp.o"
+  "CMakeFiles/network_end_to_end.dir/network_end_to_end.cpp.o.d"
+  "network_end_to_end"
+  "network_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

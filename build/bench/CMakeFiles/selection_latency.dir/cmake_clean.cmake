@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_latency.dir/selection_latency.cpp.o"
+  "CMakeFiles/selection_latency.dir/selection_latency.cpp.o.d"
+  "selection_latency"
+  "selection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_classifiers.dir/table1_classifiers.cpp.o"
+  "CMakeFiles/table1_classifiers.dir/table1_classifiers.cpp.o.d"
+  "table1_classifiers"
+  "table1_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

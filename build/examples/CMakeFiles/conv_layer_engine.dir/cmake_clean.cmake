@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_layer_engine.dir/conv_layer_engine.cpp.o"
+  "CMakeFiles/conv_layer_engine.dir/conv_layer_engine.cpp.o.d"
+  "conv_layer_engine"
+  "conv_layer_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_layer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

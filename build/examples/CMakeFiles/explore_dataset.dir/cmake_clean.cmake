@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_dataset.dir/explore_dataset.cpp.o"
+  "CMakeFiles/explore_dataset.dir/explore_dataset.cpp.o.d"
+  "explore_dataset"
+  "explore_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

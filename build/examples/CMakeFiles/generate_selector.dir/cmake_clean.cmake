@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_selector.dir/generate_selector.cpp.o"
+  "CMakeFiles/generate_selector.dir/generate_selector.cpp.o.d"
+  "generate_selector"
+  "generate_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_for_network.dir/tune_for_network.cpp.o"
+  "CMakeFiles/tune_for_network.dir/tune_for_network.cpp.o.d"
+  "tune_for_network"
+  "tune_for_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_for_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

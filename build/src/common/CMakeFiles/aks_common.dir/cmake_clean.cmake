@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_common.dir/csv.cpp.o"
+  "CMakeFiles/aks_common.dir/csv.cpp.o.d"
+  "CMakeFiles/aks_common.dir/log.cpp.o"
+  "CMakeFiles/aks_common.dir/log.cpp.o.d"
+  "CMakeFiles/aks_common.dir/rng.cpp.o"
+  "CMakeFiles/aks_common.dir/rng.cpp.o.d"
+  "CMakeFiles/aks_common.dir/stats.cpp.o"
+  "CMakeFiles/aks_common.dir/stats.cpp.o.d"
+  "CMakeFiles/aks_common.dir/strings.cpp.o"
+  "CMakeFiles/aks_common.dir/strings.cpp.o.d"
+  "CMakeFiles/aks_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/aks_common.dir/thread_pool.cpp.o.d"
+  "libaks_common.a"
+  "libaks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

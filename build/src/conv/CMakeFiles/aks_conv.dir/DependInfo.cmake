@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conv/direct.cpp" "src/conv/CMakeFiles/aks_conv.dir/direct.cpp.o" "gcc" "src/conv/CMakeFiles/aks_conv.dir/direct.cpp.o.d"
+  "/root/repo/src/conv/im2col.cpp" "src/conv/CMakeFiles/aks_conv.dir/im2col.cpp.o" "gcc" "src/conv/CMakeFiles/aks_conv.dir/im2col.cpp.o.d"
+  "/root/repo/src/conv/winograd.cpp" "src/conv/CMakeFiles/aks_conv.dir/winograd.cpp.o" "gcc" "src/conv/CMakeFiles/aks_conv.dir/winograd.cpp.o.d"
+  "/root/repo/src/conv/winograd4.cpp" "src/conv/CMakeFiles/aks_conv.dir/winograd4.cpp.o" "gcc" "src/conv/CMakeFiles/aks_conv.dir/winograd4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/aks_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/syclrt/CMakeFiles/aks_syclrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

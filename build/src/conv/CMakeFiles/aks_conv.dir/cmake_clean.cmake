@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_conv.dir/direct.cpp.o"
+  "CMakeFiles/aks_conv.dir/direct.cpp.o.d"
+  "CMakeFiles/aks_conv.dir/im2col.cpp.o"
+  "CMakeFiles/aks_conv.dir/im2col.cpp.o.d"
+  "CMakeFiles/aks_conv.dir/winograd.cpp.o"
+  "CMakeFiles/aks_conv.dir/winograd.cpp.o.d"
+  "CMakeFiles/aks_conv.dir/winograd4.cpp.o"
+  "CMakeFiles/aks_conv.dir/winograd4.cpp.o.d"
+  "libaks_conv.a"
+  "libaks_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/aks_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/conv_engine.cpp" "src/core/CMakeFiles/aks_core.dir/conv_engine.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/conv_engine.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/aks_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/network_estimator.cpp" "src/core/CMakeFiles/aks_core.dir/network_estimator.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/network_estimator.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/aks_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/aks_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/aks_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/aks_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/selector.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/aks_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/aks_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/aks_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/aks_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/aks_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/aks_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/aks_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/syclrt/CMakeFiles/aks_syclrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_core.dir/codegen.cpp.o"
+  "CMakeFiles/aks_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/aks_core.dir/conv_engine.cpp.o"
+  "CMakeFiles/aks_core.dir/conv_engine.cpp.o.d"
+  "CMakeFiles/aks_core.dir/evaluation.cpp.o"
+  "CMakeFiles/aks_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/aks_core.dir/network_estimator.cpp.o"
+  "CMakeFiles/aks_core.dir/network_estimator.cpp.o.d"
+  "CMakeFiles/aks_core.dir/online.cpp.o"
+  "CMakeFiles/aks_core.dir/online.cpp.o.d"
+  "CMakeFiles/aks_core.dir/pipeline.cpp.o"
+  "CMakeFiles/aks_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/aks_core.dir/pruning.cpp.o"
+  "CMakeFiles/aks_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/aks_core.dir/selector.cpp.o"
+  "CMakeFiles/aks_core.dir/selector.cpp.o.d"
+  "CMakeFiles/aks_core.dir/serialize.cpp.o"
+  "CMakeFiles/aks_core.dir/serialize.cpp.o.d"
+  "libaks_core.a"
+  "libaks_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

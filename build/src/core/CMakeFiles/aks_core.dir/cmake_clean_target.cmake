@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaks_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/benchmark_runner.cpp" "src/dataset/CMakeFiles/aks_dataset.dir/benchmark_runner.cpp.o" "gcc" "src/dataset/CMakeFiles/aks_dataset.dir/benchmark_runner.cpp.o.d"
+  "/root/repo/src/dataset/extract.cpp" "src/dataset/CMakeFiles/aks_dataset.dir/extract.cpp.o" "gcc" "src/dataset/CMakeFiles/aks_dataset.dir/extract.cpp.o.d"
+  "/root/repo/src/dataset/lowering.cpp" "src/dataset/CMakeFiles/aks_dataset.dir/lowering.cpp.o" "gcc" "src/dataset/CMakeFiles/aks_dataset.dir/lowering.cpp.o.d"
+  "/root/repo/src/dataset/networks.cpp" "src/dataset/CMakeFiles/aks_dataset.dir/networks.cpp.o" "gcc" "src/dataset/CMakeFiles/aks_dataset.dir/networks.cpp.o.d"
+  "/root/repo/src/dataset/perf_dataset.cpp" "src/dataset/CMakeFiles/aks_dataset.dir/perf_dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/aks_dataset.dir/perf_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/aks_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/aks_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/syclrt/CMakeFiles/aks_syclrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_dataset.dir/benchmark_runner.cpp.o"
+  "CMakeFiles/aks_dataset.dir/benchmark_runner.cpp.o.d"
+  "CMakeFiles/aks_dataset.dir/extract.cpp.o"
+  "CMakeFiles/aks_dataset.dir/extract.cpp.o.d"
+  "CMakeFiles/aks_dataset.dir/lowering.cpp.o"
+  "CMakeFiles/aks_dataset.dir/lowering.cpp.o.d"
+  "CMakeFiles/aks_dataset.dir/networks.cpp.o"
+  "CMakeFiles/aks_dataset.dir/networks.cpp.o.d"
+  "CMakeFiles/aks_dataset.dir/perf_dataset.cpp.o"
+  "CMakeFiles/aks_dataset.dir/perf_dataset.cpp.o.d"
+  "libaks_dataset.a"
+  "libaks_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

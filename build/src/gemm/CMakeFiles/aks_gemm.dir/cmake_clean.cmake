@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_gemm.dir/config.cpp.o"
+  "CMakeFiles/aks_gemm.dir/config.cpp.o.d"
+  "CMakeFiles/aks_gemm.dir/reference.cpp.o"
+  "CMakeFiles/aks_gemm.dir/reference.cpp.o.d"
+  "CMakeFiles/aks_gemm.dir/registry.cpp.o"
+  "CMakeFiles/aks_gemm.dir/registry.cpp.o.d"
+  "libaks_gemm.a"
+  "libaks_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

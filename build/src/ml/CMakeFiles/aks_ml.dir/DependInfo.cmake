@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/agglomerative.cpp" "src/ml/CMakeFiles/aks_ml.dir/agglomerative.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/agglomerative.cpp.o.d"
+  "/root/repo/src/ml/cluster_metrics.cpp" "src/ml/CMakeFiles/aks_ml.dir/cluster_metrics.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/cluster_metrics.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/aks_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/ml/CMakeFiles/aks_ml.dir/gradient_boosting.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/hdbscan.cpp" "src/ml/CMakeFiles/aks_ml.dir/hdbscan.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/hdbscan.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/aks_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/aks_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/aks_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/aks_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_selection.cpp" "src/ml/CMakeFiles/aks_ml.dir/model_selection.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/model_selection.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/aks_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/aks_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/aks_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/aks_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/aks_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

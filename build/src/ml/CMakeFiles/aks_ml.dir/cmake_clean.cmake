@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_ml.dir/agglomerative.cpp.o"
+  "CMakeFiles/aks_ml.dir/agglomerative.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/cluster_metrics.cpp.o"
+  "CMakeFiles/aks_ml.dir/cluster_metrics.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/aks_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/gradient_boosting.cpp.o"
+  "CMakeFiles/aks_ml.dir/gradient_boosting.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/hdbscan.cpp.o"
+  "CMakeFiles/aks_ml.dir/hdbscan.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/aks_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/knn.cpp.o"
+  "CMakeFiles/aks_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/linalg.cpp.o"
+  "CMakeFiles/aks_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/metrics.cpp.o"
+  "CMakeFiles/aks_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/model_selection.cpp.o"
+  "CMakeFiles/aks_ml.dir/model_selection.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/pca.cpp.o"
+  "CMakeFiles/aks_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/aks_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/scaler.cpp.o"
+  "CMakeFiles/aks_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/aks_ml.dir/svm.cpp.o"
+  "CMakeFiles/aks_ml.dir/svm.cpp.o.d"
+  "libaks_ml.a"
+  "libaks_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

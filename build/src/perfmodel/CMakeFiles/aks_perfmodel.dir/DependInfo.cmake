@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/cost_model.cpp" "src/perfmodel/CMakeFiles/aks_perfmodel.dir/cost_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/aks_perfmodel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/perfmodel/device_spec.cpp" "src/perfmodel/CMakeFiles/aks_perfmodel.dir/device_spec.cpp.o" "gcc" "src/perfmodel/CMakeFiles/aks_perfmodel.dir/device_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/aks_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/syclrt/CMakeFiles/aks_syclrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

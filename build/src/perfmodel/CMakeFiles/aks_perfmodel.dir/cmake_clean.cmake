@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_perfmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/aks_perfmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/aks_perfmodel.dir/device_spec.cpp.o"
+  "CMakeFiles/aks_perfmodel.dir/device_spec.cpp.o.d"
+  "libaks_perfmodel.a"
+  "libaks_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

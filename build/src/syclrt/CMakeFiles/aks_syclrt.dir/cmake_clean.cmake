@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_syclrt.dir/queue.cpp.o"
+  "CMakeFiles/aks_syclrt.dir/queue.cpp.o.d"
+  "libaks_syclrt.a"
+  "libaks_syclrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_syclrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

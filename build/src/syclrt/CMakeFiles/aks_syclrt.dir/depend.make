@@ -1,0 +1,2 @@
+# Empty dependencies file for aks_syclrt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_tune.dir/extended_space.cpp.o"
+  "CMakeFiles/aks_tune.dir/extended_space.cpp.o.d"
+  "CMakeFiles/aks_tune.dir/search.cpp.o"
+  "CMakeFiles/aks_tune.dir/search.cpp.o.d"
+  "libaks_tune.a"
+  "libaks_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

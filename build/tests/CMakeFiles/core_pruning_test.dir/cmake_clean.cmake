@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pruning_test.dir/core_pruning_test.cpp.o"
+  "CMakeFiles/core_pruning_test.dir/core_pruning_test.cpp.o.d"
+  "core_pruning_test"
+  "core_pruning_test.pdb"
+  "core_pruning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_batched_test.dir/gemm_batched_test.cpp.o"
+  "CMakeFiles/gemm_batched_test.dir/gemm_batched_test.cpp.o.d"
+  "gemm_batched_test"
+  "gemm_batched_test.pdb"
+  "gemm_batched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_batched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

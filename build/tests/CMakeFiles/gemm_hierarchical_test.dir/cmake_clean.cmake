@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_hierarchical_test.dir/gemm_hierarchical_test.cpp.o"
+  "CMakeFiles/gemm_hierarchical_test.dir/gemm_hierarchical_test.cpp.o.d"
+  "gemm_hierarchical_test"
+  "gemm_hierarchical_test.pdb"
+  "gemm_hierarchical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

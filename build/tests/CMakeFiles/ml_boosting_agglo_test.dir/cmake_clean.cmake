@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_boosting_agglo_test.dir/ml_boosting_agglo_test.cpp.o"
+  "CMakeFiles/ml_boosting_agglo_test.dir/ml_boosting_agglo_test.cpp.o.d"
+  "ml_boosting_agglo_test"
+  "ml_boosting_agglo_test.pdb"
+  "ml_boosting_agglo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_boosting_agglo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

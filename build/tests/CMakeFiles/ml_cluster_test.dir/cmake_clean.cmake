@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_cluster_test.dir/ml_cluster_test.cpp.o"
+  "CMakeFiles/ml_cluster_test.dir/ml_cluster_test.cpp.o.d"
+  "ml_cluster_test"
+  "ml_cluster_test.pdb"
+  "ml_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_device_file_test.dir/perfmodel_device_file_test.cpp.o"
+  "CMakeFiles/perfmodel_device_file_test.dir/perfmodel_device_file_test.cpp.o.d"
+  "perfmodel_device_file_test"
+  "perfmodel_device_file_test.pdb"
+  "perfmodel_device_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_device_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

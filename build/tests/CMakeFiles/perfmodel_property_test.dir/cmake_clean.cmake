@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_property_test.dir/perfmodel_property_test.cpp.o"
+  "CMakeFiles/perfmodel_property_test.dir/perfmodel_property_test.cpp.o.d"
+  "perfmodel_property_test"
+  "perfmodel_property_test.pdb"
+  "perfmodel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syclrt_test.dir/syclrt_test.cpp.o"
+  "CMakeFiles/syclrt_test.dir/syclrt_test.cpp.o.d"
+  "syclrt_test"
+  "syclrt_test.pdb"
+  "syclrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syclrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_search_test.dir/tune_search_test.cpp.o"
+  "CMakeFiles/tune_search_test.dir/tune_search_test.cpp.o.d"
+  "tune_search_test"
+  "tune_search_test.pdb"
+  "tune_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

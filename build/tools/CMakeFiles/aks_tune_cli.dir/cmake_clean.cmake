@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aks_tune_cli.dir/aks_tune.cpp.o"
+  "CMakeFiles/aks_tune_cli.dir/aks_tune.cpp.o.d"
+  "aks_tune"
+  "aks_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aks_tune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aks_tune_cli.
+# This may be replaced when dependencies are built.
