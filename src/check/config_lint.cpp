@@ -1,0 +1,165 @@
+#include "check/config_lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace aks::check {
+
+namespace {
+
+/// The CSV layer supports no quoting, so cells must not contain commas.
+std::string sanitize_cell(std::string text) {
+  std::replace(text.begin(), text.end(), ',', ';');
+  return text;
+}
+
+}  // namespace
+
+LintRule parse_lint_rule(std::string_view name) {
+  for (const LintRule rule :
+       {LintRule::work_group_size, LintRule::local_memory,
+        LintRule::vector_width}) {
+    if (to_string(rule) == name) return rule;
+  }
+  AKS_FAIL("unknown lint rule '" << name << "'");
+}
+
+Diagnostic LintFinding::to_diagnostic() const {
+  return {.kind = DiagnosticKind::invalid_config,
+          .kernel = config,
+          .buffer = {},
+          .index = config_index,
+          .group_a = kNoGroup,
+          .group_b = kNoGroup,
+          .message = "[" + std::string(to_string(rule)) + "] on " + device +
+                     ": " + message};
+}
+
+std::vector<bool> LintReport::valid_mask(std::size_t num_configs,
+                                         const std::string& device) const {
+  std::vector<bool> valid(num_configs, true);
+  for (const auto& finding : findings) {
+    if (!device.empty() && finding.device != device) continue;
+    if (finding.config_index < num_configs) {
+      valid[finding.config_index] = false;
+    }
+  }
+  return valid;
+}
+
+void LintReport::save_csv(const std::filesystem::path& path) const {
+  common::CsvTable table;
+  table.header = {"config_index", "config", "device", "rule", "message"};
+  // Provenance row so a round-tripped report keeps its sweep dimensions
+  // even when there are no findings.
+  table.rows.push_back({std::to_string(configs_checked), "#summary",
+                        std::to_string(devices_checked), "summary", ""});
+  for (const auto& finding : findings) {
+    table.rows.push_back({std::to_string(finding.config_index),
+                          sanitize_cell(finding.config),
+                          sanitize_cell(finding.device),
+                          std::string(to_string(finding.rule)),
+                          sanitize_cell(finding.message)});
+  }
+  common::write_csv(path, table);
+}
+
+LintReport LintReport::load_csv(const std::filesystem::path& path) {
+  const common::CsvTable table = common::read_csv(path);
+  const std::size_t idx_col = table.column_index("config_index");
+  const std::size_t cfg_col = table.column_index("config");
+  const std::size_t dev_col = table.column_index("device");
+  const std::size_t rule_col = table.column_index("rule");
+  const std::size_t msg_col = table.column_index("message");
+  LintReport report;
+  for (const auto& row : table.rows) {
+    if (row[rule_col] == "summary") {
+      report.configs_checked =
+          static_cast<std::size_t>(std::stoull(row[idx_col]));
+      report.devices_checked =
+          static_cast<std::size_t>(std::stoull(row[dev_col]));
+      continue;
+    }
+    LintFinding finding;
+    finding.config_index = static_cast<std::size_t>(std::stoull(row[idx_col]));
+    finding.config = row[cfg_col];
+    finding.device = row[dev_col];
+    finding.rule = parse_lint_rule(row[rule_col]);
+    finding.message = row[msg_col];
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+std::size_t local_memory_footprint_bytes(const gemm::KernelConfig& config) {
+  const auto rows = static_cast<std::size_t>(config.wg_rows) *
+                    static_cast<std::size_t>(config.row_tile);
+  const auto cols = static_cast<std::size_t>(config.wg_cols) *
+                    static_cast<std::size_t>(config.col_tile);
+  const auto acc = static_cast<std::size_t>(config.acc_size);
+  return sizeof(float) * (rows * acc + acc * cols);
+}
+
+std::vector<LintFinding> lint_config(const gemm::KernelConfig& config,
+                                     std::size_t config_index,
+                                     const perf::DeviceSpec& device) {
+  std::vector<LintFinding> findings;
+  const auto add = [&](LintRule rule, const std::string& message) {
+    findings.push_back({.config_index = config_index,
+                        .config = config.name(),
+                        .device = device.name,
+                        .rule = rule,
+                        .message = message});
+  };
+
+  const int wg_size = config.work_group_size();
+  if (wg_size > device.max_work_group_size) {
+    std::ostringstream os;
+    os << "work-group size " << wg_size << " exceeds device limit "
+       << device.max_work_group_size;
+    add(LintRule::work_group_size, os.str());
+  }
+
+  const std::size_t footprint = local_memory_footprint_bytes(config);
+  if (footprint > device.local_memory_bytes) {
+    std::ostringstream os;
+    os << "staged panels need " << footprint
+       << " bytes of local memory; device has " << device.local_memory_bytes;
+    add(LintRule::local_memory, os.str());
+  }
+
+  // The staging loads along K are emitted as acc_size-wide vectors; they
+  // must decompose into whole native vectors (acc >= width) or fit inside
+  // one (acc < width and divides it). Anything else needs scalar fix-up
+  // code the kernel family does not have.
+  const int vec = device.vector_width;
+  const int acc = config.acc_size;
+  if (vec > 0 && acc % vec != 0 && vec % acc != 0) {
+    std::ostringstream os;
+    os << "accumulator step " << acc
+       << " does not tile into native vector width " << vec;
+    add(LintRule::vector_width, os.str());
+  }
+  return findings;
+}
+
+LintReport lint_configs(std::span<const gemm::KernelConfig> configs,
+                        std::span<const perf::DeviceSpec> devices) {
+  LintReport report;
+  report.configs_checked = configs.size();
+  report.devices_checked = devices.size();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    for (const auto& device : devices) {
+      auto findings = lint_config(configs[i], i, device);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(findings.begin()),
+                             std::make_move_iterator(findings.end()));
+    }
+  }
+  return report;
+}
+
+}  // namespace aks::check

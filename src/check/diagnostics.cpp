@@ -1,0 +1,37 @@
+#include "check/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aks::check {
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << "[" << to_string(kind) << "] kernel=" << kernel;
+  if (!buffer.empty()) os << " buffer=" << buffer << " index=" << index;
+  if (group_a != kNoGroup && group_b != kNoGroup) {
+    os << " groups=" << group_a << "," << group_b;
+  } else if (group_b != kNoGroup) {
+    os << " group=" << group_b;
+  }
+  if (!message.empty()) os << ": " << message;
+  return os.str();
+}
+
+bool AccessMonitor::report(Diagnostic diagnostic) {
+  diagnostic.kernel = kernel_;
+  const auto duplicate = std::any_of(
+      findings_.begin(), findings_.end(), [&](const Diagnostic& d) {
+        return d.kind == diagnostic.kind && d.buffer == diagnostic.buffer &&
+               d.index == diagnostic.index;
+      });
+  if (duplicate) return false;
+  if (findings_.size() >= max_findings_) {
+    ++dropped_;
+    return false;
+  }
+  findings_.push_back(std::move(diagnostic));
+  return true;
+}
+
+}  // namespace aks::check

@@ -58,13 +58,25 @@ std::vector<float> im2col_transform(std::span<const float> input,
 void im2col_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                    std::span<const float> input, std::span<const float> filter,
                    std::span<float> output, const ConvShape& shape) {
+  im2col_conv2d(queue, config, input, filter, output, shape,
+                [](syclrt::Queue& q, const gemm::KernelConfig& cfg,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, const gemm::GemmShape& s) {
+                  return gemm::launch_gemm(q, cfg, a, b, c, s);
+                });
+}
+
+void im2col_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                   std::span<const float> input, std::span<const float> filter,
+                   std::span<float> output, const ConvShape& shape,
+                   const GemmLaunchFn& launch) {
   AKS_CHECK(filter.size() == shape.filter_size(), "filter size mismatch");
   AKS_CHECK(output.size() == shape.output_size(), "output size mismatch");
   const auto patches = im2col_transform(input, shape);
   const auto gemm_shape = im2col_gemm_shape(shape);
   // The HWIO filter flattens directly to [kh*kw*in_c, out_c]; the NHWC
   // output flattens directly to [batch*oh*ow, out_c].
-  gemm::launch_gemm(queue, config, patches, filter, output, gemm_shape);
+  launch(queue, config, patches, filter, output, gemm_shape);
 }
 
 }  // namespace aks::conv

@@ -6,6 +6,7 @@
 // (M, K, N) triple the dataset layer extracts for conv layers.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,10 +24,24 @@ namespace aks::conv {
 [[nodiscard]] std::vector<float> im2col_transform(std::span<const float> input,
                                                   const ConvShape& shape);
 
+/// Launch used for the patch-matrix multiply. The default forwards to
+/// gemm::launch_gemm; the checked execution mode (src/check) injects a
+/// launcher that routes the same multiply through recording buffers, so
+/// conv lowerings are analysed through their production code path.
+using GemmLaunchFn = std::function<syclrt::Event(
+    syclrt::Queue&, const gemm::KernelConfig&, std::span<const float>,
+    std::span<const float>, std::span<float>, const gemm::GemmShape&)>;
+
 /// Runs the convolution as im2col + a tiled GEMM with `config` on `queue`.
 /// Output layout matches direct_conv2d.
 void im2col_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                    std::span<const float> input, std::span<const float> filter,
                    std::span<float> output, const ConvShape& shape);
+
+/// As above with an injected GEMM launch (see GemmLaunchFn).
+void im2col_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                   std::span<const float> input, std::span<const float> filter,
+                   std::span<float> output, const ConvShape& shape,
+                   const GemmLaunchFn& launch);
 
 }  // namespace aks::conv

@@ -80,6 +80,21 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                      std::span<const float> input,
                      std::span<const float> filter, std::span<float> output,
                      const ConvShape& shape) {
+  winograd_conv2d(queue, config, input, filter, output, shape,
+                  [](syclrt::Queue& q, const gemm::KernelConfig& cfg,
+                     std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, const gemm::GemmShape& s,
+                     std::size_t batch) {
+                    return gemm::launch_batched_gemm(q, cfg, a, b, c, s,
+                                                     batch);
+                  });
+}
+
+void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                     std::span<const float> input,
+                     std::span<const float> filter, std::span<float> output,
+                     const ConvShape& shape,
+                     const BatchedGemmLaunchFn& launch) {
   AKS_CHECK(winograd_applicable(shape),
             "Winograd F(2x2,3x3) requires a 3x3 stride-1 convolution");
   AKS_CHECK(input.size() == shape.input_size(), "input size mismatch");
@@ -149,7 +164,7 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
   // launch over the packed planes.
   const std::size_t m_plane = tiles * out_c;
   std::vector<float> m(16 * m_plane, 0.0f);
-  gemm::launch_batched_gemm(queue, config, v, u, m, mm, 16);
+  launch(queue, config, v, u, m, mm, 16);
 
   // --- Output transform. ---------------------------------------------------
   const int oh = shape.out_height();

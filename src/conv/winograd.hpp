@@ -13,6 +13,7 @@
 //   V = B^T d B (input tiles), U = G g G^T (filter), Y = A^T (U .* V) A.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "conv/direct.hpp"
@@ -21,6 +22,14 @@
 #include "syclrt/queue.hpp"
 
 namespace aks::conv {
+
+/// Launch used for the batched transformed multiplies. The default
+/// forwards to gemm::launch_batched_gemm; the checked execution mode
+/// (src/check) injects a recording launcher (see conv/im2col.hpp).
+using BatchedGemmLaunchFn = std::function<syclrt::Event(
+    syclrt::Queue&, const gemm::KernelConfig&, std::span<const float>,
+    std::span<const float>, std::span<float>, const gemm::GemmShape&,
+    std::size_t)>;
 
 /// True when the Winograd path supports the convolution (3x3, stride 1).
 [[nodiscard]] bool winograd_applicable(const ConvShape& shape);
@@ -36,6 +45,13 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                      std::span<const float> input,
                      std::span<const float> filter, std::span<float> output,
                      const ConvShape& shape);
+
+/// As above with an injected batched GEMM launch.
+void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                     std::span<const float> input,
+                     std::span<const float> filter, std::span<float> output,
+                     const ConvShape& shape,
+                     const BatchedGemmLaunchFn& launch);
 
 // --- F(4x4, 3x3) extension -------------------------------------------------
 // Larger output tiles (4x4 from 6x6 input tiles, 36 multiplies) cut the
@@ -53,5 +69,12 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                       std::span<const float> input,
                       std::span<const float> filter, std::span<float> output,
                       const ConvShape& shape);
+
+/// As above with an injected batched GEMM launch.
+void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                      std::span<const float> input,
+                      std::span<const float> filter, std::span<float> output,
+                      const ConvShape& shape,
+                      const BatchedGemmLaunchFn& launch);
 
 }  // namespace aks::conv

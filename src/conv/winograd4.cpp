@@ -95,6 +95,21 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
                       std::span<const float> input,
                       std::span<const float> filter, std::span<float> output,
                       const ConvShape& shape) {
+  winograd4_conv2d(queue, config, input, filter, output, shape,
+                   [](syclrt::Queue& q, const gemm::KernelConfig& cfg,
+                      std::span<const float> a, std::span<const float> b,
+                      std::span<float> c, const gemm::GemmShape& s,
+                      std::size_t batch) {
+                     return gemm::launch_batched_gemm(q, cfg, a, b, c, s,
+                                                      batch);
+                   });
+}
+
+void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
+                      std::span<const float> input,
+                      std::span<const float> filter, std::span<float> output,
+                      const ConvShape& shape,
+                      const BatchedGemmLaunchFn& launch) {
   AKS_CHECK(winograd_applicable(shape),
             "Winograd F(4x4,3x3) requires a 3x3 stride-1 convolution");
   AKS_CHECK(input.size() == shape.input_size(), "input size mismatch");
@@ -167,7 +182,7 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
   // The 36 multiplies as one batched launch.
   const std::size_t m_plane = tiles * out_c;
   std::vector<float> m(36 * m_plane, 0.0f);
-  gemm::launch_batched_gemm(queue, config, v, u, m, mm, 36);
+  launch(queue, config, v, u, m, mm, 36);
 
   // Output transform: Y = A^T m A (4x4 per tile), scattered with guards.
   const int oh = shape.out_height();

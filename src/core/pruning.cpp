@@ -165,6 +165,47 @@ std::vector<std::size_t> AgglomerativePruner::prune(
   return finalize_selection(std::move(chosen), train, max_configs);
 }
 
+ValidityFilteredPruner::ValidityFilteredPruner(
+    std::unique_ptr<ConfigPruner> inner, std::vector<bool> valid)
+    : inner_(std::move(inner)), valid_(std::move(valid)) {
+  AKS_CHECK(inner_ != nullptr, "ValidityFilteredPruner needs an inner pruner");
+  AKS_CHECK(std::find(valid_.begin(), valid_.end(), true) != valid_.end(),
+            "validity mask rejects every configuration");
+}
+
+std::string ValidityFilteredPruner::name() const {
+  return inner_->name() + "+Lint";
+}
+
+std::vector<std::size_t> ValidityFilteredPruner::prune(
+    const data::PerfDataset& train, std::size_t max_configs) const {
+  AKS_CHECK(valid_.size() == train.num_configs(),
+            "validity mask covers " << valid_.size() << " configs, dataset has "
+                                    << train.num_configs());
+  const auto is_valid = [this](std::size_t c) { return valid_[c]; };
+
+  std::vector<std::size_t> chosen;
+  for (const std::size_t c : inner_->prune(train, max_configs)) {
+    if (is_valid(c)) chosen.push_back(c);
+  }
+  // Re-pad from the ranking restricted to valid configurations; the budget
+  // caps at how many survive the lint.
+  std::size_t num_valid = 0;
+  for (std::size_t c = 0; c < valid_.size(); ++c) {
+    if (valid_[c]) ++num_valid;
+  }
+  const std::size_t budget =
+      std::min({max_configs, train.num_configs(), num_valid});
+  if (chosen.size() < budget) {
+    std::set<std::size_t> seen(chosen.begin(), chosen.end());
+    for (const std::size_t c : rank_by_optimal_count(train)) {
+      if (chosen.size() == budget) break;
+      if (is_valid(c) && seen.insert(c).second) chosen.push_back(c);
+    }
+  }
+  return finalize_selection(std::move(chosen), train, budget);
+}
+
 std::vector<std::unique_ptr<ConfigPruner>> all_pruners(std::uint64_t seed) {
   std::vector<std::unique_ptr<ConfigPruner>> pruners;
   pruners.push_back(std::make_unique<TopNPruner>());

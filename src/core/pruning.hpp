@@ -111,6 +111,26 @@ class AgglomerativePruner final : public ConfigPruner {
       const data::PerfDataset& train, std::size_t max_configs) const override;
 };
 
+/// Decorator that removes configurations flagged invalid by the static
+/// config lint (akscheck) from another pruner's selection, re-padding from
+/// the validity-restricted top-N ranking so the budget is still met. The
+/// mask is a plain per-config bitmap (index = canonical config index, true
+/// = valid) — typically `check::LintReport::valid_mask()` carried across
+/// the process boundary as a report file, keeping this layer free of a
+/// dependency on the analysis tooling.
+class ValidityFilteredPruner final : public ConfigPruner {
+ public:
+  ValidityFilteredPruner(std::unique_ptr<ConfigPruner> inner,
+                         std::vector<bool> valid);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<std::size_t> prune(
+      const data::PerfDataset& train, std::size_t max_configs) const override;
+
+ private:
+  std::unique_ptr<ConfigPruner> inner_;
+  std::vector<bool> valid_;
+};
+
 /// The paper's five pruning approaches, in Figure 4's order.
 [[nodiscard]] std::vector<std::unique_ptr<ConfigPruner>> all_pruners(
     std::uint64_t seed = 0);

@@ -24,11 +24,13 @@ namespace aks::gemm {
 
 /// C = A * B with TILE x TILE work-groups staging TILE-wide K-panels in
 /// local memory. M and N need not be multiples of TILE (edges are guarded);
-/// any K is supported.
-template <int Tile = 8>
-syclrt::Event hierarchical_gemm(syclrt::Queue& queue, std::span<const float> a,
-                                std::span<const float> b, std::span<float> c,
-                                const GemmShape& shape) {
+/// any K is supported. Generic over the accessor types so the checked
+/// execution mode (src/check) can instantiate the same body over recording
+/// accessors; call through `hierarchical_gemm` for the plain span form.
+template <int Tile, typename ConstAcc, typename MutAcc>
+syclrt::Event basic_hierarchical_gemm(syclrt::Queue& queue, ConstAcc a,
+                                      ConstAcc b, MutAcc c,
+                                      const GemmShape& shape) {
   static_assert(Tile >= 1);
   AKS_CHECK(a.size() == shape.m * shape.k, "A size mismatch");
   AKS_CHECK(b.size() == shape.k * shape.n, "B size mismatch");
@@ -90,6 +92,14 @@ syclrt::Event hierarchical_gemm(syclrt::Queue& queue, std::span<const float> a,
           }
         });
       });
+}
+
+/// The plain span entry point used by library code and tests.
+template <int Tile = 8>
+syclrt::Event hierarchical_gemm(syclrt::Queue& queue, std::span<const float> a,
+                                std::span<const float> b, std::span<float> c,
+                                const GemmShape& shape) {
+  return basic_hierarchical_gemm<Tile>(queue, a, b, c, shape);
 }
 
 }  // namespace aks::gemm

@@ -13,6 +13,11 @@
 // to a guarded path. This mirrors how the real kernels trade register
 // pressure against unrolling, which is what gives each instantiation its
 // distinct performance character on a GPU.
+//
+// The accessor types are template parameters defaulting to spans so the
+// checked execution mode (src/check) can instantiate the very same kernel
+// over recording accessors — the analysed code path is the shipped one, not
+// a checked re-implementation.
 #pragma once
 
 #include <span>
@@ -22,7 +27,9 @@
 
 namespace aks::gemm {
 
-template <int RowTile, int ColTile, int AccSize>
+template <int RowTile, int ColTile, int AccSize,
+          typename ConstAcc = std::span<const float>,
+          typename MutAcc = std::span<float>>
 class TiledGemmKernel {
   static_assert(RowTile >= 1 && ColTile >= 1 && AccSize >= 1);
 
@@ -31,8 +38,7 @@ class TiledGemmKernel {
   static constexpr std::size_t kColTile = ColTile;
   static constexpr std::size_t kAccSize = AccSize;
 
-  TiledGemmKernel(std::span<const float> a, std::span<const float> b,
-                  std::span<float> c, GemmShape shape)
+  TiledGemmKernel(ConstAcc a, ConstAcc b, MutAcc c, GemmShape shape)
       : a_(a), b_(b), c_(c), shape_(shape) {}
 
   void operator()(const syclrt::NdItem<2>& item) const {
@@ -105,9 +111,9 @@ class TiledGemmKernel {
         c_[r * shape_.n + c] = acc[r - row0][c - col0];
   }
 
-  std::span<const float> a_;
-  std::span<const float> b_;
-  std::span<float> c_;
+  ConstAcc a_;
+  ConstAcc b_;
+  MutAcc c_;
   GemmShape shape_;
 };
 
@@ -115,11 +121,12 @@ class TiledGemmKernel {
 /// A/B/C packed contiguously per batch entry, executed as one 3-D launch
 /// (batch x tile rows x tile cols). This is how the sixteen Winograd
 /// multiplies ship as a single kernel instead of sixteen launches.
-template <int RowTile, int ColTile, int AccSize>
+template <int RowTile, int ColTile, int AccSize,
+          typename ConstAcc = std::span<const float>,
+          typename MutAcc = std::span<float>>
 class BatchedTiledGemmKernel {
  public:
-  BatchedTiledGemmKernel(std::span<const float> a, std::span<const float> b,
-                         std::span<float> c, GemmShape shape,
+  BatchedTiledGemmKernel(ConstAcc a, ConstAcc b, MutAcc c, GemmShape shape,
                          std::size_t batch)
       : a_(a), b_(b), c_(c), shape_(shape), batch_(batch) {}
 
@@ -129,7 +136,7 @@ class BatchedTiledGemmKernel {
     const std::size_t a_stride = shape_.m * shape_.k;
     const std::size_t b_stride = shape_.k * shape_.n;
     const std::size_t c_stride = shape_.m * shape_.n;
-    const TiledGemmKernel<RowTile, ColTile, AccSize> kernel(
+    const TiledGemmKernel<RowTile, ColTile, AccSize, ConstAcc, MutAcc> kernel(
         a_.subspan(bi * a_stride, a_stride),
         b_.subspan(bi * b_stride, b_stride),
         c_.subspan(bi * c_stride, c_stride), shape_);
@@ -137,9 +144,9 @@ class BatchedTiledGemmKernel {
   }
 
  private:
-  std::span<const float> a_;
-  std::span<const float> b_;
-  std::span<float> c_;
+  ConstAcc a_;
+  ConstAcc b_;
+  MutAcc c_;
   GemmShape shape_;
   std::size_t batch_;
 };

@@ -70,6 +70,9 @@ const std::map<std::string, Field>& fields() {
       {"alu_hiding_waves", num_field(&DeviceSpec::alu_hiding_waves)},
       {"mem_hiding_waves", num_field(&DeviceSpec::mem_hiding_waves)},
       {"loop_overhead_cycles", num_field(&DeviceSpec::loop_overhead_cycles)},
+      {"max_work_group_size", num_field(&DeviceSpec::max_work_group_size)},
+      {"local_memory_bytes", num_field(&DeviceSpec::local_memory_bytes)},
+      {"vector_width", num_field(&DeviceSpec::vector_width)},
   };
   return table;
 }
@@ -136,6 +139,9 @@ DeviceSpec DeviceSpec::amd_r9_nano() {
   d.alu_hiding_waves = 4.0;
   d.mem_hiding_waves = 8.0;
   d.loop_overhead_cycles = 10.0;
+  d.max_work_group_size = 256;  // GCN3 launch limit
+  d.local_memory_bytes = 64 * 1024;  // LDS per work-group
+  d.vector_width = 4;  // dwordx4 vector loads
   return d;
 }
 
@@ -155,6 +161,12 @@ DeviceSpec DeviceSpec::embedded_accelerator() {
   d.alu_hiding_waves = 3.0;
   d.mem_hiding_waves = 6.0;
   d.loop_overhead_cycles = 14.0;
+  d.max_work_group_size = 256;
+  // 48 KB: covers the zoo's largest staged panels (33 KB for the 8x8x8
+  // tiles at 128-item groups) with headroom; smaller embedded parts are
+  // modelled in tests via custom specs.
+  d.local_memory_bytes = 48 * 1024;
+  d.vector_width = 4;
   return d;
 }
 
@@ -174,6 +186,9 @@ DeviceSpec DeviceSpec::integrated_gpu() {
   d.alu_hiding_waves = 4.0;
   d.mem_hiding_waves = 8.0;
   d.loop_overhead_cycles = 12.0;
+  d.max_work_group_size = 256;
+  d.local_memory_bytes = 64 * 1024;  // Gen9 SLM
+  d.vector_width = 4;
   return d;
 }
 

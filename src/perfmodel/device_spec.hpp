@@ -44,6 +44,14 @@ struct DeviceSpec {
   /// Extra ALU cycles charged per accumulator-loop iteration (branch,
   /// index arithmetic) — what a larger acc_size amortises away.
   double loop_overhead_cycles = 10.0;
+  /// Maximum work-items per work-group the device will launch (execution
+  /// limit, not a performance parameter — consumed by the config lint).
+  int max_work_group_size = 256;
+  /// Local ("shared") memory available per work-group, in bytes.
+  std::size_t local_memory_bytes = 64 * 1024;
+  /// Native vector load width in elements; vectorised staging loads must
+  /// tile into (or be covered by) vectors of this width.
+  int vector_width = 4;
 
   /// Peak single-precision throughput in FLOP/s (each lane one FMA/cycle).
   [[nodiscard]] double peak_flops() const {

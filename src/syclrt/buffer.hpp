@@ -6,6 +6,7 @@
 // element count is fixed at construction.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -30,12 +31,36 @@ class Buffer {
   /// Read-write accessor.
   [[nodiscard]] std::span<T> write() { return storage_; }
 
+  /// Bounds-checked element access for host-side debugging; throws
+  /// common::Error on an out-of-range index instead of invoking UB.
+  [[nodiscard]] T& at(std::size_t i) {
+    AKS_CHECK(i < storage_.size(),
+              "buffer index " << i << " out of range (size "
+              << storage_.size() << ")");
+    return storage_[i];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    AKS_CHECK(i < storage_.size(),
+              "buffer index " << i << " out of range (size "
+              << storage_.size() << ")");
+    return storage_[i];
+  }
+
   /// Copies buffer contents back to a host range (like a host accessor).
   void copy_to(std::span<T> dst) const {
     AKS_CHECK(dst.size() == storage_.size(),
               "copy_to size mismatch: " << dst.size() << " vs "
               << storage_.size());
     std::copy(storage_.begin(), storage_.end(), dst.begin());
+  }
+
+  /// Copies a host range into the buffer — the post-construction symmetric
+  /// of the copy-in constructor.
+  void copy_from(std::span<const T> src) {
+    AKS_CHECK(src.size() == storage_.size(),
+              "copy_from size mismatch: " << src.size() << " vs "
+              << storage_.size());
+    std::copy(src.begin(), src.end(), storage_.begin());
   }
 
  private:

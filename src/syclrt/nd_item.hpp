@@ -1,6 +1,7 @@
 // Per-work-item handle passed to kernels, mirroring sycl::nd_item.
 #pragma once
 
+#include "syclrt/instrument.hpp"
 #include "syclrt/range.hpp"
 
 namespace aks::syclrt {
@@ -32,8 +33,17 @@ class NdItem {
     return logical_global_[d];
   }
 
-  /// True when this item falls inside the logical global range.
+  /// True when this item falls inside the logical global range. Under
+  /// checked replay this also records that the kernel consulted the guard,
+  /// so tail accesses after an `in_range()` check are not flagged.
   [[nodiscard]] bool in_range() const {
+    if (auto* ctx = instrument::context()) ctx->guard_queried = true;
+    return logical_in_range();
+  }
+
+  /// The same predicate without the instrumentation side effect; used by
+  /// the executor to seed the item context.
+  [[nodiscard]] bool logical_in_range() const {
     for (int d = 0; d < Dims; ++d)
       if (get_global_id(d) >= logical_global_[d]) return false;
     return true;

@@ -26,6 +26,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "syclrt/device.hpp"
+#include "syclrt/instrument.hpp"
 #include "syclrt/nd_item.hpp"
 #include "syclrt/range.hpp"
 
@@ -61,21 +62,35 @@ class WorkGroup {
   void parallel_for_work_item(Fn&& fn) const {
     if constexpr (Dims == 1) {
       for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
-        fn(NdItem<1>(group_, Id<1>(l0), local_range_, logical_global_));
+        run_item(fn, NdItem<1>(group_, Id<1>(l0), local_range_,
+                               logical_global_));
     } else if constexpr (Dims == 2) {
       for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
         for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
-          fn(NdItem<2>(group_, Id<2>(l0, l1), local_range_, logical_global_));
+          run_item(fn, NdItem<2>(group_, Id<2>(l0, l1), local_range_,
+                                 logical_global_));
     } else {
       for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
         for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
           for (std::size_t l2 = 0; l2 < local_range_[2]; ++l2)
-            fn(NdItem<3>(group_, Id<3>(l0, l1, l2), local_range_,
-                         logical_global_));
+            run_item(fn, NdItem<3>(group_, Id<3>(l0, l1, l2), local_range_,
+                                   logical_global_));
     }
   }
 
  private:
+  /// Refreshes the instrumentation context (when one is installed) before
+  /// handing the item to the kernel, so checked accessors can attribute the
+  /// access and detect unguarded tail items.
+  template <typename Fn>
+  void run_item(Fn& fn, NdItem<Dims> item) const {
+    if (auto* ctx = instrument::context()) {
+      ctx->item_in_logical_range = item.logical_in_range();
+      ctx->guard_queried = false;
+    }
+    fn(item);
+  }
+
   Id<Dims> group_;
   Range<Dims> local_range_;
   Range<Dims> logical_global_;
@@ -100,6 +115,15 @@ class Queue {
   /// Accumulated profiling data across all submissions so far.
   [[nodiscard]] const QueueProfile& profile() const { return profile_; }
   void reset_profile() { profile_ = {}; }
+
+  /// Deterministic replay: work-groups execute sequentially in canonical
+  /// flat order on the submitting thread, with an instrumentation context
+  /// installed (see instrument.hpp). This is the execution mode required by
+  /// checked buffers/accessors — race attribution and reproducible reports
+  /// rely on the serial group order. Timings remain valid but measure
+  /// serial execution; do not feed them to the dataset.
+  void set_deterministic_replay(bool on) { replay_ = on; }
+  [[nodiscard]] bool deterministic_replay() const { return replay_; }
 
   /// Flat ND-range submission; see file comment for the execution contract.
   template <int Dims, typename Kernel>
@@ -158,24 +182,37 @@ class Queue {
               << " exceeds device limit " << device_.max_work_group_size);
   }
 
-  /// Dispatches group indices across the pool (groups are independent).
+  /// Dispatches group indices across the pool (groups are independent), or
+  /// serially in flat order under deterministic replay.
   template <int Dims, typename Fn>
   void for_each_group(Range<Dims> groups, Fn&& fn) {
     const std::size_t total = groups.size();
-    pool_->parallel_for(total, [&](std::size_t flat) {
+    const auto decode = [&groups](std::size_t flat) {
       Id<Dims> group;
       std::size_t rem = flat;
       for (int d = Dims - 1; d >= 0; --d) {
         group[d] = rem % groups[d];
         rem /= groups[d];
       }
-      fn(group);
-    });
+      return group;
+    };
+    if (replay_) {
+      instrument::ItemContext ctx;
+      const instrument::ContextScope scope(ctx);
+      for (std::size_t flat = 0; flat < total; ++flat) {
+        ctx.flat_group = flat;
+        fn(decode(flat));
+      }
+      return;
+    }
+    pool_->parallel_for(total,
+                        [&](std::size_t flat) { fn(decode(flat)); });
   }
 
   Device device_;
   common::ThreadPool* pool_;
   QueueProfile profile_;
+  bool replay_ = false;
 };
 
 }  // namespace aks::syclrt

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "syclrt/buffer.hpp"
@@ -206,6 +208,60 @@ TEST(Device, HostDeviceHasSaneDefaults) {
   EXPECT_FALSE(d.name.empty());
   EXPECT_GE(d.compute_units, 1u);
   EXPECT_GE(d.max_work_group_size, 1u);
+}
+
+TEST(Buffer, AtBoundsChecksBothOverloads) {
+  Buffer<int> buf(3, 7);
+  buf.at(2) = 9;
+  EXPECT_EQ(buf.at(2), 9);
+  EXPECT_THROW((void)buf.at(3), common::Error);
+  const Buffer<int>& cref = buf;
+  EXPECT_EQ(cref.at(0), 7);
+  EXPECT_THROW((void)cref.at(5), common::Error);
+}
+
+TEST(Buffer, CopyFromReplacesContents) {
+  Buffer<float> buf(4);
+  const std::vector<float> host = {1.0f, 2.0f, 3.0f, 4.0f};
+  buf.copy_from(host);
+  EXPECT_EQ(buf.read()[0], 1.0f);
+  EXPECT_EQ(buf.read()[3], 4.0f);
+  const std::vector<float> wrong_size = {1.0f};
+  EXPECT_THROW(buf.copy_from(wrong_size), common::Error);
+}
+
+TEST(Queue, DeterministicReplayVisitsGroupsInCanonicalOrder) {
+  Queue queue;
+  queue.set_deterministic_replay(true);
+  EXPECT_TRUE(queue.deterministic_replay());
+  std::vector<std::size_t> order;
+  queue.parallel_for(NdRange<2>(Range<2>(4, 6), Range<2>(2, 2)),
+                     [&](const NdItem<2>& item) {
+                       if (item.get_local_id(0) == 0 &&
+                           item.get_local_id(1) == 0) {
+                         order.push_back(item.get_group(0) * 3 +
+                                         item.get_group(1));
+                       }
+                     });
+  ASSERT_EQ(order.size(), 6u);  // 2x3 groups
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Queue, ReplayMatchesPooledExecutionResults) {
+  const auto run = [](bool replay) {
+    Queue queue;
+    queue.set_deterministic_replay(replay);
+    std::vector<float> out(64, 0.0f);
+    std::span<float> view(out);
+    queue.parallel_for(NdRange<1>(Range<1>(60), Range<1>(8)),
+                       [view](const NdItem<1>& item) {
+                         if (!item.in_range()) return;
+                         const std::size_t i = item.get_global_id(0);
+                         view[i] = static_cast<float>(i) * 0.5f;
+                       });
+    return out;
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 }  // namespace

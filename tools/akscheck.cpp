@@ -1,0 +1,258 @@
+// akscheck — race/bounds/config analysis driver for the kernel zoo.
+//
+// Runs the two akscheck passes over the registry configuration space:
+//
+//   checked execution  (--registry)  replay every compiled kernel over
+//                                    shadow-recording accessors on a shape
+//                                    corpus; races, out-of-bounds accesses,
+//                                    unguarded tails, numeric divergence;
+//   config lint        (--lint)      validate every configuration against
+//                                    device execution limits;
+//   conv lowerings     (--conv)      replay the im2col/Winograd lowerings
+//                                    through their production code path.
+//
+// With no pass flags, --registry and --lint both run. Exit status: 0 clean,
+// 1 findings, 2 usage error.
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/checked_conv.hpp"
+#include "check/checked_gemm.hpp"
+#include "check/config_lint.hpp"
+#include "common/error.hpp"
+#include "gemm/config.hpp"
+#include "perfmodel/device_spec.hpp"
+
+namespace {
+
+using namespace aks;
+
+struct Args {
+  bool registry = false;
+  bool lint = false;
+  bool conv = false;
+  std::string devices = "all";
+  std::string report;
+  std::vector<gemm::GemmShape> shapes;
+  std::size_t max_configs = 0;
+  std::size_t conv_stride = 80;
+  bool verbose = false;
+};
+
+/// stoull with validation: rejects empty, non-digit, and overflowing input
+/// with a usage error instead of an uncaught std exception.
+std::size_t parse_size(const std::string& text, const char* what) {
+  AKS_CHECK(!text.empty() &&
+                text.find_first_not_of("0123456789") == std::string::npos,
+            what << " must be a non-negative integer, got '" << text << "'");
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    AKS_FAIL(what << " is out of range: '" << text << "'");
+  }
+}
+
+gemm::GemmShape parse_shape(const std::string& text) {
+  gemm::GemmShape shape;
+  const auto x1 = text.find('x');
+  const auto x2 = text.find('x', x1 + 1);
+  AKS_CHECK(x1 != std::string::npos && x2 != std::string::npos,
+            "shape must be MxKxN, got '" << text << "'");
+  shape.m = parse_size(text.substr(0, x1), "shape dimension M");
+  shape.k = parse_size(text.substr(x1 + 1, x2 - x1 - 1), "shape dimension K");
+  shape.n = parse_size(text.substr(x2 + 1), "shape dimension N");
+  AKS_CHECK(shape.m > 0 && shape.k > 0 && shape.n > 0,
+            "shape dimensions must be positive: '" << text << "'");
+  return shape;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto value = [&]() -> std::string {
+      AKS_CHECK(i + 1 < argc, "missing value for option " << token);
+      return argv[++i];
+    };
+    if (token == "--registry") {
+      args.registry = true;
+    } else if (token == "--lint") {
+      args.lint = true;
+    } else if (token == "--conv") {
+      args.conv = true;
+    } else if (token == "--verbose") {
+      args.verbose = true;
+    } else if (token == "--devices") {
+      args.devices = value();
+    } else if (token == "--report") {
+      args.report = value();
+    } else if (token == "--max-configs") {
+      args.max_configs = parse_size(value(), "--max-configs");
+    } else if (token == "--conv-stride") {
+      args.conv_stride = parse_size(value(), "--conv-stride");
+    } else if (token == "--shapes") {
+      const std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const auto comma = list.find(',', start);
+        const auto end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          args.shapes.push_back(parse_shape(list.substr(start, end - start)));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      AKS_CHECK(!args.shapes.empty(), "--shapes needs at least one MxKxN");
+    } else {
+      AKS_FAIL("unknown option '" << token << "'");
+    }
+  }
+  if (!args.registry && !args.lint && !args.conv) {
+    args.registry = true;
+    args.lint = true;
+  }
+  return args;
+}
+
+std::vector<perf::DeviceSpec> devices_from(const std::string& spec) {
+  std::vector<perf::DeviceSpec> devices;
+  const auto add = [&devices](const std::string& name) {
+    if (name == "r9nano") {
+      devices.push_back(perf::DeviceSpec::amd_r9_nano());
+    } else if (name == "embedded") {
+      devices.push_back(perf::DeviceSpec::embedded_accelerator());
+    } else if (name == "igpu") {
+      devices.push_back(perf::DeviceSpec::integrated_gpu());
+    } else {
+      AKS_FAIL("unknown device '" << name
+                                  << "' (all | r9nano | embedded | igpu)");
+    }
+  };
+  if (spec == "all") {
+    add("r9nano");
+    add("embedded");
+    add("igpu");
+    return devices;
+  }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const auto end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) add(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  AKS_CHECK(!devices.empty(), "--devices selected no device");
+  return devices;
+}
+
+void print_findings(const std::vector<check::Diagnostic>& findings,
+                    std::size_t limit) {
+  std::size_t shown = 0;
+  for (const auto& finding : findings) {
+    if (shown++ == limit) {
+      std::cout << "  ... " << findings.size() - limit << " more\n";
+      break;
+    }
+    std::cout << "  " << finding.format() << "\n";
+  }
+}
+
+int run(const Args& args) {
+  std::size_t total_findings = 0;
+
+  if (args.lint) {
+    const auto devices = devices_from(args.devices);
+    const auto& configs = gemm::enumerate_configs();
+    const auto report = check::lint_configs(configs, devices);
+    std::cout << "[lint] " << report.configs_checked << " configs x "
+              << report.devices_checked << " devices: " << report.findings.size()
+              << " finding(s)\n";
+    if (!report.clean()) {
+      std::vector<check::Diagnostic> diags;
+      for (const auto& finding : report.findings) {
+        diags.push_back(finding.to_diagnostic());
+      }
+      print_findings(diags, args.verbose ? diags.size() : 10);
+    }
+    if (!args.report.empty()) {
+      report.save_csv(args.report);
+      std::cout << "[lint] report written to " << args.report << "\n";
+    }
+    total_findings += report.findings.size();
+  }
+
+  if (args.registry) {
+    check::RegistryCheckOptions options;
+    options.shapes = args.shapes;
+    options.max_configs = args.max_configs;
+    const auto summary = check::check_registry(options);
+    std::cout << "[registry] " << summary.configs_checked << " configs, "
+              << summary.launches << " checked launches, max |err| "
+              << summary.max_abs_error << ": " << summary.findings.size()
+              << " finding(s)";
+    if (summary.dropped_findings > 0) {
+      std::cout << " (+" << summary.dropped_findings << " dropped)";
+    }
+    std::cout << "\n";
+    if (!summary.clean()) {
+      print_findings(summary.findings,
+                     args.verbose ? summary.findings.size() : 10);
+    }
+    total_findings += summary.findings.size() + summary.dropped_findings;
+  }
+
+  if (args.conv) {
+    const auto summary = check::check_conv_lowerings(args.conv_stride);
+    std::cout << "[conv] " << summary.configs_checked << " configs, "
+              << summary.launches << " checked lowerings, max |err| "
+              << summary.max_abs_error << ": " << summary.findings.size()
+              << " finding(s)\n";
+    if (!summary.clean()) {
+      print_findings(summary.findings,
+                     args.verbose ? summary.findings.size() : 10);
+    }
+    total_findings += summary.findings.size() + summary.dropped_findings;
+  }
+
+  if (total_findings == 0) {
+    std::cout << "akscheck: clean\n";
+    return 0;
+  }
+  std::cout << "akscheck: " << total_findings << " finding(s)\n";
+  return 1;
+}
+
+void print_usage() {
+  std::cerr <<
+      "usage: akscheck [passes] [options]\n"
+      "passes (default: --registry --lint):\n"
+      "  --registry          checked replay of the GEMM kernel zoo\n"
+      "  --lint              config validity vs device execution limits\n"
+      "  --conv              checked replay of the conv lowerings\n"
+      "options:\n"
+      "  --devices all|r9nano,embedded,igpu   lint targets (default all)\n"
+      "  --shapes MxKxN,...  registry shape corpus (default built-in)\n"
+      "  --max-configs N     registry: only the first N configs (0 = all)\n"
+      "  --conv-stride N     conv: every Nth config (default 80)\n"
+      "  --report <csv>      write the lint report\n"
+      "  --verbose           print every finding\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const aks::common::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
