@@ -1,0 +1,99 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace aks::common {
+
+namespace {
+
+std::size_t bucket_index(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9;
+  if (ns < 2.0) return 0;
+  const auto truncated = static_cast<std::uint64_t>(ns);
+  const auto index = static_cast<std::size_t>(std::bit_width(truncated)) - 1;
+  return std::min(index, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record_seconds(double seconds) {
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.add(seconds);
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+}
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-9;
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return bucket_upper_seconds(i);
+  }
+  return bucket_upper_seconds(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Accumulator& MetricsRegistry::accumulator(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = accumulators_[name];
+  if (!slot) slot = std::make_unique<Accumulator>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "name,kind,field,value\n";
+  for (const auto& [name, c] : counters_) {
+    out << name << ",counter,value," << c->value() << "\n";
+  }
+  for (const auto& [name, a] : accumulators_) {
+    out << name << ",accumulator,value," << a->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << ",histogram,count," << h->count() << "\n"
+        << name << ",histogram,total_seconds," << h->total_seconds() << "\n"
+        << name << ",histogram,mean_seconds," << h->mean_seconds() << "\n"
+        << name << ",histogram,p50_seconds," << h->quantile_seconds(0.5) << "\n"
+        << name << ",histogram,p90_seconds," << h->quantile_seconds(0.9) << "\n"
+        << name << ",histogram,p99_seconds," << h->quantile_seconds(0.99)
+        << "\n";
+  }
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+}  // namespace aks::common

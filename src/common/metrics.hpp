@@ -1,0 +1,123 @@
+// Lightweight concurrent metrics: atomic counters, double accumulators and
+// fixed-bucket latency histograms, grouped in a registry exportable to CSV.
+//
+// Built for the serving layer (src/serve) but generic: every instrument is
+// safe to update from any number of threads with relaxed atomics, so the
+// hot-path cost is one uncontended atomic RMW. Reads are monotonic but not
+// snapshot-consistent across instruments — fine for operational telemetry,
+// not for invariant checks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/timer.hpp"
+
+namespace aks::common {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Concurrent sum of doubles (e.g. total trial seconds). Uses a CAS loop
+/// rather than atomic<double>::fetch_add for toolchain portability.
+class Accumulator {
+ public:
+  void add(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram with fixed power-of-two nanosecond buckets: bucket i
+/// counts samples in [2^i, 2^(i+1)) ns, with the first and last buckets
+/// absorbing underflow/overflow. 40 buckets span 1 ns .. ~18 min, which
+/// covers everything from a cache-hit select() to a full warm-up sweep.
+/// Quantiles are bucket upper bounds, i.e. conservative to within 2x.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record_seconds(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_seconds() const { return total_.value(); }
+  [[nodiscard]] double mean_seconds() const;
+  /// Upper bound of the bucket holding the q-quantile sample (q in [0, 1]).
+  [[nodiscard]] double quantile_seconds(double q) const;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper edge of bucket i, in seconds.
+  [[nodiscard]] static double bucket_upper_seconds(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  Accumulator total_;
+};
+
+/// Records the lifetime of the scope into a histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& histogram)
+      : histogram_(histogram) {}
+  ~ScopedLatency() { histogram_.record_seconds(timer_.elapsed_seconds()); }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram& histogram_;
+  Timer timer_;
+};
+
+/// Named instruments with stable addresses: references returned by the
+/// lookup methods stay valid for the registry's lifetime, so hot paths can
+/// resolve a metric once and update it lock-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Accumulator& accumulator(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// One row per (metric, field): `name,kind,field,value`. Counters and
+  /// accumulators export `value`; histograms export count, total_seconds,
+  /// mean_seconds and p50/p90/p99 bucket upper bounds. Rows are sorted by
+  /// name for deterministic output.
+  void write_csv(std::ostream& out) const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Accumulator>> accumulators_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace aks::common

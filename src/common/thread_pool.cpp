@@ -1,11 +1,61 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 
 #include "common/error.hpp"
 
 namespace aks::common {
+
+namespace {
+// Which pool (if any) the current thread belongs to. Lets parallel_for
+// detect nested calls and switch from a blocking wait to the help-drain
+// path, which is what makes nesting deadlock-free.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
+// One parallel_for invocation. Chunks are claimed via `next` by any thread
+// running run_chunks() — the enqueued helper tasks and the caller itself.
+// The job outlives the caller via shared_ptr: a helper task that wakes up
+// after every chunk was claimed only touches `next` and exits, so the
+// caller may safely return (and destroy `fn`) once `done == chunks`.
+struct ThreadPool::ParallelJob {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t chunks = 0;
+  std::size_t count = 0;
+  std::size_t per_chunk = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  [[nodiscard]] bool finished() const {
+    return done.load(std::memory_order_acquire) == chunks;
+  }
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(count, begin + per_chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -26,7 +76,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -49,6 +102,18 @@ void ThreadPool::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::try_run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -58,39 +123,38 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
-  struct Shared {
-    std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  };
-  Shared shared;
-  shared.remaining.store(chunks, std::memory_order_relaxed);
+  auto job = std::make_shared<ParallelJob>();
+  job->chunks = chunks;
+  job->count = count;
+  job->per_chunk = (count + chunks - 1) / chunks;
+  job->fn = &fn;
 
-  const std::size_t per_chunk = (count + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(count, begin + per_chunk);
-    enqueue([&shared, &fn, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard lock(shared.error_mutex);
-        if (!shared.error) shared.error = std::current_exception();
-      }
-      if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(shared.done_mutex);
-        shared.done_cv.notify_all();
-      }
-    });
+  for (std::size_t h = 1; h < chunks; ++h) {
+    enqueue([job] { job->run_chunks(); });
   }
+  // The caller claims chunks too: the loop makes progress even when every
+  // worker is busy (or is itself blocked in a nested parallel_for), which
+  // is the reentrancy guarantee documented in the header.
+  job->run_chunks();
 
-  std::unique_lock lock(shared.done_mutex);
-  shared.done_cv.wait(lock, [&shared] {
-    return shared.remaining.load(std::memory_order_acquire) == 0;
-  });
-  if (shared.error) std::rethrow_exception(shared.error);
+  if (!job->finished()) {
+    if (on_worker_thread()) {
+      // Nested call: our remaining chunks are executing on other workers.
+      // Help drain the queue (other jobs' chunks) instead of sleeping so
+      // the pool as a whole keeps making progress; fall back to a short
+      // timed wait when the queue is empty.
+      while (!job->finished()) {
+        if (try_run_one_task()) continue;
+        std::unique_lock lock(job->done_mutex);
+        job->done_cv.wait_for(lock, std::chrono::microseconds(200),
+                              [&job] { return job->finished(); });
+      }
+    } else {
+      std::unique_lock lock(job->done_mutex);
+      job->done_cv.wait(lock, [&job] { return job->finished(); });
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
 }
 
 ThreadPool& ThreadPool::global() {

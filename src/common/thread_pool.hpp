@@ -1,10 +1,21 @@
-// Fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with a blocking, reentrancy-safe parallel_for.
 //
 // Used by the ND-range executor (one task per work-group chunk) and the
 // benchmark runner. Following the Core Guidelines concurrency rules, tasks
 // must not share mutable state: parallel_for hands each invocation a
 // distinct index range and joins before returning, so lifetimes are simple
 // and no synchronisation is needed inside user code.
+//
+// Reentrancy guarantee: parallel_for may be called from inside a task that
+// is itself running on this pool (nested parallelism), to any depth, without
+// deadlocking. Work is claimed from a shared chunk counter and the caller
+// always participates: it executes chunks of its own loop first, so the loop
+// completes even when every worker is busy. While its last chunks finish on
+// other workers, a caller that is itself a pool worker help-drains the task
+// queue (executing other queued work) instead of sleeping. This is what lets
+// `syclrt::Queue` submissions and `run_model_benchmarks` nest — e.g. a
+// kernel launch from inside a pooled benchmark loop — which previously
+// deadlocked once every worker sat in a nested wait.
 #pragma once
 
 #include <condition_variable>
@@ -29,17 +40,27 @@ class ThreadPool {
   [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for every i in [0, count), partitioned into contiguous
-  /// chunks across the workers. Blocks until all invocations complete.
-  /// Exceptions from `fn` are captured and the first one is rethrown.
+  /// chunks claimed dynamically by the workers and the calling thread.
+  /// Blocks until all invocations complete. Safe to call from inside a task
+  /// running on this pool (see the reentrancy guarantee above). Exceptions
+  /// from `fn` are captured and the first one is rethrown.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
  private:
+  struct ParallelJob;
+
   void worker_loop();
   void enqueue(std::function<void()> task);
+  /// Pops and runs one queued task if any is pending; used by blocked
+  /// parallel_for callers on worker threads to help drain the queue.
+  bool try_run_one_task();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

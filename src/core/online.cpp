@@ -1,6 +1,7 @@
 #include "core/online.hpp"
 
 #include <limits>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -17,26 +18,39 @@ OnlineTuner::OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer)
 }
 
 gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
-  const auto it = cache_.find(shape);
-  if (it != cache_.end()) {
-    ++hits_;
-    return gemm::enumerate_configs()[it->second];
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = cache_.find(shape);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return gemm::enumerate_configs()[it->second];
+    }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   double best_time = std::numeric_limits<double>::infinity();
   std::size_t best = candidates_.front();
+  double sweep_seconds = 0.0;
   for (const std::size_t candidate : candidates_) {
     const double t =
         timer_(gemm::enumerate_configs()[candidate], shape);
     AKS_CHECK(t > 0.0, "timer returned non-positive time");
-    trial_seconds_ += t;
+    sweep_seconds += t;
     if (t < best_time) {
       best_time = t;
       best = candidate;
     }
   }
-  cache_.emplace(shape, best);
-  return gemm::enumerate_configs()[best];
+  trial_seconds_.add(sweep_seconds);
+  std::unique_lock lock(mutex_);
+  // First finished sweep wins; racing losers adopt its answer so every
+  // caller observes the same winner for a shape.
+  const auto [it, inserted] = cache_.emplace(shape, best);
+  return gemm::enumerate_configs()[it->second];
+}
+
+std::size_t OnlineTuner::cached_shapes() const {
+  std::shared_lock lock(mutex_);
+  return cache_.size();
 }
 
 }  // namespace aks::select

@@ -8,13 +8,26 @@
 // is the baseline a learned selector competes with: zero selection error
 // asymptotically, but a warm-up cost of |candidates| trial runs per novel
 // shape — exactly the trade-off bench/ablation_online_vs_learned measures.
+//
+// Thread safety: select() may be called concurrently. Cache lookups take a
+// shared lock; the trial sweep runs unlocked and the first finished sweep
+// for a shape wins (every caller returns that winner, so results are
+// consistent across threads). Two threads racing on the same cold shape may
+// both run the sweep — each counts a miss and its trial time, so the stats
+// keep reporting work actually done. The serving layer
+// (serve::SelectionService) adds single-flight coalescing on top when
+// duplicate sweeps must not happen at all. Single-threaded behaviour —
+// including the hits/misses/trial_seconds accounting — is unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "gemm/config.hpp"
 #include "gemm/shape.hpp"
 
@@ -34,20 +47,25 @@ class OnlineTuner {
   [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
 
   /// Statistics for the warm-up-cost analysis.
-  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
-  [[nodiscard]] std::size_t cache_misses() const { return misses_; }
+  [[nodiscard]] std::size_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   /// Total seconds of trial runs spent warming the cache (as reported by
   /// the timer function).
-  [[nodiscard]] double trial_seconds() const { return trial_seconds_; }
-  [[nodiscard]] std::size_t cached_shapes() const { return cache_.size(); }
+  [[nodiscard]] double trial_seconds() const { return trial_seconds_.value(); }
+  [[nodiscard]] std::size_t cached_shapes() const;
 
  private:
   std::vector<std::size_t> candidates_;
   TimerFn timer_;
+  mutable std::shared_mutex mutex_;
   std::map<gemm::GemmShape, std::size_t> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  double trial_seconds_ = 0.0;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  common::Accumulator trial_seconds_;
 };
 
 }  // namespace aks::select

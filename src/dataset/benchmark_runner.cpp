@@ -1,6 +1,7 @@
 #include "dataset/benchmark_runner.hpp"
 
 #include <atomic>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -20,14 +21,23 @@ PerfDataset run_model_benchmarks(const std::vector<LoweredGemm>& shapes,
 
   common::Matrix times(shapes.size(), configs.size());
   std::atomic<std::size_t> done{0};
+  // Workers finish rows concurrently; the progress callback is serialized
+  // under a mutex so user code (typically stream output) never interleaves.
+  std::mutex progress_mutex;
   common::ThreadPool::global().parallel_for(
       shapes.size(), [&](std::size_t r) {
         for (std::size_t c = 0; c < configs.size(); ++c) {
           times(r, c) =
               timing.best_of(configs[c], shapes[r].shape, options.iterations);
         }
-        const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (options.progress) options.progress(d, shapes.size());
+        if (options.progress) {
+          std::lock_guard lock(progress_mutex);
+          const std::size_t d =
+              done.fetch_add(1, std::memory_order_relaxed) + 1;
+          options.progress(d, shapes.size());
+        } else {
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
       });
   return PerfDataset(shapes, std::move(times));
 }

@@ -29,7 +29,11 @@ struct RunnerOptions {
   double noise_sigma = 0.03;
   /// Seed for the noise streams.
   std::uint64_t seed = 42;
-  /// Progress callback, called after each completed shape row.
+  /// Progress callback, called after each completed shape row. Rows finish
+  /// on pool worker threads, but invocations are serialized by the runner
+  /// (an internal mutex), so the callback may write to a stream without its
+  /// output interleaving. `done` is the completion count at call time and
+  /// is strictly increasing across the serialized calls.
   std::function<void(std::size_t done, std::size_t total)> progress;
 };
 

@@ -4,6 +4,7 @@
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace aks::gemm {
@@ -36,3 +37,23 @@ struct GemmShape {
 };
 
 }  // namespace aks::gemm
+
+/// Hash support so shapes can key unordered containers (the serving layer's
+/// sharded cache). SplitMix64-style mixing keeps nearby layer shapes —
+/// which differ in one dimension by a small factor — well distributed.
+template <>
+struct std::hash<aks::gemm::GemmShape> {
+  [[nodiscard]] std::size_t operator()(
+      const aks::gemm::GemmShape& shape) const noexcept {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return h ^ (h >> 31);
+    };
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    h = mix(h, shape.m);
+    h = mix(h, shape.k);
+    h = mix(h, shape.n);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,174 @@
+#include "serve/selection_service.hpp"
+
+#include <bit>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/online.hpp"
+#include "core/selector.hpp"
+
+namespace aks::serve {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(1, n));
+}
+
+// select() latency is *sampled* (1 request in 32 per thread): recording
+// every call would put three shared atomic RMWs on the cache-hit path and
+// the resulting cache-line bouncing flattens throughput scaling. The first
+// request of every thread is always sampled.
+constexpr std::uint32_t kLatencySampleStride = 32;
+thread_local std::uint32_t tl_latency_tick = 0;
+
+}  // namespace
+
+SelectionService::SelectionService(WarmUpFn warm_up, ServiceOptions options)
+    : warm_up_(std::move(warm_up)),
+      hits_(metrics_.counter("serve.hits")),
+      misses_(metrics_.counter("serve.misses")),
+      coalesced_waits_(metrics_.counter("serve.coalesced_waits")),
+      duplicate_sweeps_(metrics_.counter("serve.duplicate_sweeps")),
+      warmup_seconds_(metrics_.accumulator("serve.warmup_seconds")),
+      select_latency_(metrics_.histogram("serve.select_latency")),
+      warmup_latency_(metrics_.histogram("serve.warmup_latency")) {
+  AKS_CHECK(warm_up_ != nullptr, "selection service needs a warm-up function");
+  const std::size_t shards = round_up_pow2(options.num_shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shards - 1;
+}
+
+SelectionService::SelectionService(const select::KernelSelector& selector,
+                                   ServiceOptions options)
+    : SelectionService(
+          [&selector](const gemm::GemmShape& shape) {
+            return selector.select_config(shape);
+          },
+          options) {}
+
+SelectionService::SelectionService(select::OnlineTuner& tuner,
+                                   ServiceOptions options)
+    : SelectionService(
+          [&tuner](const gemm::GemmShape& shape) {
+            return tuner.select(shape);
+          },
+          options) {}
+
+SelectionService::Shard& SelectionService::shard_for(
+    const gemm::GemmShape& shape) {
+  const std::size_t h = std::hash<gemm::GemmShape>{}(shape);
+  return *shards_[h & shard_mask_];
+}
+
+gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
+  std::optional<common::ScopedLatency> latency;
+  if ((tl_latency_tick++ & (kLatencySampleStride - 1)) == 0) {
+    latency.emplace(select_latency_);
+  }
+  Shard& shard = shard_for(shape);
+
+  std::shared_ptr<Entry> entry;
+  bool leader = false;
+  {
+    std::lock_guard lock(shard.m);
+    auto& slot = shard.map[shape];
+    if (!slot) {
+      slot = std::make_shared<Entry>();
+      leader = true;
+    }
+    entry = slot;
+  }
+
+  if (leader) return run_warm_up(shape, shard, entry);
+
+  if (entry->ready.load(std::memory_order_acquire)) {
+    // Hot path: published entries are immutable, no entry lock needed, and
+    // the hit count goes to the shard's stripe, not a global line.
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    coalesced_waits_.add();
+    std::unique_lock lock(entry->m);
+    entry->cv.wait(lock, [&entry] {
+      return entry->ready.load(std::memory_order_acquire);
+    });
+  }
+  if (entry->error) std::rethrow_exception(entry->error);
+  return entry->config;
+}
+
+gemm::KernelConfig SelectionService::run_warm_up(
+    const gemm::GemmShape& shape, Shard& shard,
+    const std::shared_ptr<Entry>& entry) {
+  misses_.add();
+  if (entry->sweeps.fetch_add(1, std::memory_order_relaxed) > 0) {
+    duplicate_sweeps_.add();
+  }
+
+  gemm::KernelConfig config{};
+  std::exception_ptr error;
+  common::Timer timer;
+  try {
+    config = warm_up_(shape);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const double seconds = timer.elapsed_seconds();
+  warmup_latency_.record_seconds(seconds);
+  warmup_seconds_.add(seconds);
+
+  {
+    std::lock_guard lock(entry->m);
+    entry->config = config;
+    entry->error = error;
+    entry->ready.store(true, std::memory_order_release);
+  }
+  entry->cv.notify_all();
+
+  if (error) {
+    // Drop the failed entry so a later request retries the warm-up;
+    // current waiters still observe the error through their Entry ref.
+    std::lock_guard lock(shard.m);
+    const auto it = shard.map.find(shape);
+    if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
+    std::rethrow_exception(error);
+  }
+  return config;
+}
+
+void SelectionService::sync_hits() const {
+  std::lock_guard lock(sync_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hits.load(std::memory_order_relaxed);
+  }
+  // Shard stripes only grow and hits_ is only advanced here (under the
+  // sync mutex), so the delta is non-negative and never double-counted.
+  hits_.add(total - hits_.value());
+}
+
+const common::MetricsRegistry& SelectionService::metrics() const {
+  sync_hits();
+  return metrics_;
+}
+
+ServiceStats SelectionService::stats() const {
+  ServiceStats stats;
+  sync_hits();
+  stats.hits = hits_.value();
+  stats.misses = misses_.value();
+  stats.coalesced_waits = coalesced_waits_.value();
+  stats.duplicate_sweeps = duplicate_sweeps_.value();
+  stats.warmup_seconds = warmup_seconds_.value();
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->m);
+    stats.cached_shapes += shard->map.size();
+  }
+  return stats;
+}
+
+}  // namespace aks::serve

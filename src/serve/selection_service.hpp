@@ -1,0 +1,146 @@
+// Concurrent selection-serving layer — the deployment face of the library.
+//
+// The paper ends with a selector that picks among shipped kernels per
+// incoming GEMM; this module is what actually serves that decision under
+// concurrent traffic. SelectionService wraps any per-shape decision
+// procedure (a trained KernelSelector, an OnlineTuner, or an arbitrary
+// warm-up function) behind one thread-safe API:
+//
+//  * sharded cache — the shape → config map is split across N mutex-striped
+//    shards keyed by std::hash<GemmShape>, so unrelated shapes never
+//    contend and cache hits cost one shard lock plus one atomic counter;
+//
+//  * single-flight warm-up — the first request for a shape becomes the
+//    leader and runs the warm-up (for an online tuner, the |candidates|
+//    trial sweep) exactly once; concurrent requests for the same shape
+//    block on the in-flight entry and adopt the leader's answer instead of
+//    duplicating the sweep. A failed warm-up is rethrown to the leader and
+//    to every waiter, and the entry is dropped so later requests retry;
+//
+//  * metrics — hit/miss/coalesced-wait counters, select() and warm-up
+//    latency histograms, and total trial seconds, via common::MetricsRegistry
+//    (CSV-exportable; see bench/selection_service_throughput and
+//    `aks_tune serve`). Counters are exact; the select() latency histogram
+//    is sampled 1-in-32 per thread so the cache-hit path stays free of
+//    shared-cache-line histogram traffic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "gemm/config.hpp"
+#include "gemm/shape.hpp"
+
+namespace aks::select {
+class KernelSelector;
+class OnlineTuner;
+}  // namespace aks::select
+
+namespace aks::serve {
+
+struct ServiceOptions {
+  /// Number of cache shards; rounded up to a power of two, minimum 1.
+  std::size_t num_shards = 16;
+};
+
+/// Snapshot of the service counters (each individually monotonic).
+struct ServiceStats {
+  /// Requests answered from the cache.
+  std::uint64_t hits = 0;
+  /// Requests that ran the warm-up (one per shape under single-flight).
+  std::uint64_t misses = 0;
+  /// Requests that blocked on another thread's in-flight warm-up.
+  std::uint64_t coalesced_waits = 0;
+  /// Warm-ups that ran for an already-warm shape; 0 by construction.
+  std::uint64_t duplicate_sweeps = 0;
+  /// Wall seconds spent inside the warm-up function.
+  double warmup_seconds = 0.0;
+  /// Shapes currently cached (including in-flight entries).
+  std::size_t cached_shapes = 0;
+};
+
+class SelectionService {
+ public:
+  /// Decides the kernel for a never-seen shape. Runs at most once per shape
+  /// (single-flight); may be expensive and may throw.
+  using WarmUpFn = std::function<gemm::KernelConfig(const gemm::GemmShape&)>;
+
+  explicit SelectionService(WarmUpFn warm_up, ServiceOptions options = {});
+  /// Serves a trained selector (must outlive the service; fit() must have
+  /// been called). Selector inference is read-only, hence shareable.
+  explicit SelectionService(const select::KernelSelector& selector,
+                            ServiceOptions options = {});
+  /// Serves an online tuner (must outlive the service). Single-flight means
+  /// the tuner sees each shape exactly once, so its own warm-up accounting
+  /// stays exact under concurrency.
+  explicit SelectionService(select::OnlineTuner& tuner,
+                            ServiceOptions options = {});
+
+  SelectionService(const SelectionService&) = delete;
+  SelectionService& operator=(const SelectionService&) = delete;
+
+  /// Thread-safe: the kernel configuration to use for `shape`.
+  [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Live registry backing stats(); export with metrics().write_csv(out).
+  /// (Reconciles the shard-striped hit counts into `serve.hits` first.)
+  [[nodiscard]] const common::MetricsRegistry& metrics() const;
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable cv;
+    /// Publishes config/error: written once under m, read lock-free by the
+    /// hit path after an acquire load.
+    std::atomic<bool> ready{false};
+    gemm::KernelConfig config{};
+    std::exception_ptr error;
+    /// Warm-up invocations for this shape; >1 would be a duplicate sweep.
+    std::atomic<std::uint32_t> sweeps{0};
+  };
+
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<gemm::GemmShape, std::shared_ptr<Entry>> map;
+    /// Hit count striped per shard: a single global hit counter would put
+    /// one contended cache line on every cache hit and flatten throughput
+    /// scaling. Reconciled into the registry's serve.hits by sync_hits().
+    std::atomic<std::uint64_t> hits{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(const gemm::GemmShape& shape);
+  [[nodiscard]] gemm::KernelConfig run_warm_up(const gemm::GemmShape& shape,
+                                               Shard& shard,
+                                               const std::shared_ptr<Entry>& entry);
+  /// Folds the per-shard hit counts into the registry's serve.hits counter
+  /// (serialized so concurrent observers never double-add a delta).
+  void sync_hits() const;
+
+  WarmUpFn warm_up_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  mutable std::mutex sync_mutex_;
+
+  common::MetricsRegistry metrics_;
+  // Resolved once so the hot path never touches the registry lock.
+  common::Counter& hits_;
+  common::Counter& misses_;
+  common::Counter& coalesced_waits_;
+  common::Counter& duplicate_sweeps_;
+  common::Accumulator& warmup_seconds_;
+  common::LatencyHistogram& select_latency_;
+  common::LatencyHistogram& warmup_latency_;
+};
+
+}  // namespace aks::serve

@@ -19,6 +19,14 @@
 // queue is asynchronous, but the libraries in this repo always wait before
 // reading results, so a synchronous queue preserves observable behaviour
 // while keeping ownership simple.
+//
+// Submissions may be made from any thread, including a worker of the very
+// pool the queue dispatches to (e.g. a kernel launched from inside a pooled
+// benchmark loop, or from a serve::SelectionService warm-up running on a
+// nested task). Work-group dispatch goes through the pool's reentrancy-safe
+// parallel_for: the submitting thread claims and executes group chunks
+// itself and help-drains the queue while stragglers finish, so nested
+// launches cannot deadlock (see common/thread_pool.hpp).
 #pragma once
 
 #include <functional>

@@ -1,0 +1,152 @@
+// Regression tests for ThreadPool reentrancy: nested parallel_for used to
+// deadlock because every blocked caller slept on a condition variable while
+// occupying the worker that should have drained the queue. The fixed pool
+// lets the caller claim chunks itself and help-drain while waiting, so the
+// nesting patterns exercised here (including a real kernel launch from
+// inside a pooled loop, the benchmark runner's shape) must all complete.
+//
+// Every nesting test runs under a watchdog that kills the binary if the
+// pool deadlocks again — a hang would otherwise stall the whole CI job
+// instead of reporting a failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "dataset/benchmark_runner.hpp"
+#include "gemm/config.hpp"
+
+namespace aks {
+namespace {
+
+// Runs `body` on a scratch thread; if it fails to finish before the
+// deadline the process exits non-zero (ctest reports the failure) instead
+// of hanging forever on a deadlocked pool.
+void with_watchdog(const std::function<void()>& body,
+                   std::chrono::seconds deadline = std::chrono::seconds(120)) {
+  auto task = std::async(std::launch::async, body);
+  if (task.wait_for(deadline) == std::future_status::timeout) {
+    std::cerr << "watchdog: thread-pool test deadlocked\n";
+    std::_Exit(3);
+  }
+  task.get();
+}
+
+TEST(ThreadPool, EveryIndexExecutedExactlyOnce) {
+  common::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, MainThreadIsNotAWorker) {
+  common::ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_FALSE(common::ThreadPool::global().on_worker_thread());
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  with_watchdog([] {
+    common::ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) {
+        sum.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(sum.load(), 16);
+  });
+}
+
+TEST(ThreadPool, TriplyNestedParallelFor) {
+  with_watchdog([] {
+    common::ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(3, [&](std::size_t) {
+        pool.parallel_for(3, [&](std::size_t) {
+          sum.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    });
+    EXPECT_EQ(sum.load(), 27);
+  });
+}
+
+TEST(ThreadPool, NestedIndicesEachRunExactlyOnce) {
+  with_watchdog([] {
+    common::ThreadPool pool(3);
+    constexpr std::size_t kOuter = 8;
+    constexpr std::size_t kInner = 64;
+    std::vector<std::atomic<int>> counts(kOuter * kInner);
+    pool.parallel_for(kOuter, [&](std::size_t o) {
+      pool.parallel_for(kInner, [&](std::size_t i) {
+        counts[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  });
+}
+
+TEST(ThreadPool, NestedExceptionPropagates) {
+  with_watchdog([] {
+    common::ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallel_for(4,
+                          [&](std::size_t) {
+                            pool.parallel_for(4, [&](std::size_t j) {
+                              if (j == 3) throw std::runtime_error("boom");
+                            });
+                          }),
+        std::runtime_error);
+  });
+}
+
+// The exact shape of the historical deadlock: time_host_run constructs a
+// syclrt::Queue and launches a kernel, which dispatches work-groups on the
+// *global* pool — from inside a loop already running on the global pool
+// (what run_model_benchmarks in host mode does).
+TEST(ThreadPool, HostTimedKernelLaunchInsidePooledLoop) {
+  with_watchdog([] {
+    const gemm::KernelConfig config{};  // 1x1x1 tile on an 8x8 work-group
+    const gemm::GemmShape shape{16, 16, 16};
+    std::atomic<int> runs{0};
+    common::ThreadPool::global().parallel_for(4, [&](std::size_t) {
+      const double seconds = data::time_host_run(config, shape);
+      EXPECT_GT(seconds, 0.0);
+      runs.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(runs.load(), 4);
+  });
+}
+
+// Concurrent top-level parallel_for calls from independent client threads
+// (the serving layer's situation) must not interfere.
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+  with_watchdog([] {
+    common::ThreadPool pool(2);
+    constexpr std::size_t kClients = 4;
+    std::vector<std::atomic<int>> sums(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        pool.parallel_for(100, [&](std::size_t) {
+          sums[c].fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (const auto& s : sums) EXPECT_EQ(s.load(), 100);
+  });
+}
+
+}  // namespace
+}  // namespace aks

@@ -1,0 +1,102 @@
+// OnlineTuner thread-safety: the tuner's cache and statistics used to be
+// plain fields mutated without synchronization, so concurrent select()
+// calls were a data race. These tests pin down the repaired contract:
+// single-threaded accounting is unchanged, concurrent callers always agree
+// on a shape's winner, and the hit/miss counters stay coherent. They run
+// under ThreadSanitizer in CI (the tsan job) to keep the race fixed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/online.hpp"
+#include "gemm/config.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace aks::select {
+namespace {
+
+OnlineTuner::TimerFn model_timer() {
+  return [timing = perf::TimingModel(perf::DeviceSpec::amd_r9_nano(), 0.0)](
+             const gemm::KernelConfig& config, const gemm::GemmShape& shape) {
+    return timing.best_of(config, shape, 3);
+  };
+}
+
+std::vector<gemm::GemmShape> test_shapes(std::size_t n) {
+  std::vector<gemm::GemmShape> shapes;
+  for (std::size_t i = 0; i < n; ++i) {
+    shapes.push_back(
+        {64 + 32 * i, 128 + 16 * ((i * 7) % 11), 64 + 48 * ((i * 3) % 5)});
+  }
+  return shapes;
+}
+
+TEST(OnlineTunerConcurrency, SingleThreadedStatsContractUnchanged) {
+  const std::vector<std::size_t> candidates = {0, 100, 250, 400, 639};
+  std::atomic<int> timer_calls{0};
+  OnlineTuner tuner(candidates,
+                    [&, timer = model_timer()](const gemm::KernelConfig& c,
+                                               const gemm::GemmShape& s) {
+                      timer_calls.fetch_add(1);
+                      return timer(c, s);
+                    });
+  const gemm::GemmShape shape{256, 256, 256};
+  const auto first = tuner.select(shape);
+  const auto second = tuner.select(shape);
+  EXPECT_EQ(gemm::config_index(first), gemm::config_index(second));
+  EXPECT_EQ(tuner.cache_misses(), 1u);
+  EXPECT_EQ(tuner.cache_hits(), 1u);
+  EXPECT_EQ(tuner.cached_shapes(), 1u);
+  EXPECT_EQ(timer_calls.load(), static_cast<int>(candidates.size()));
+  EXPECT_GT(tuner.trial_seconds(), 0.0);
+}
+
+TEST(OnlineTunerConcurrency, ConcurrentSelectsAgreeOnEveryShape) {
+  const std::vector<std::size_t> candidates = {0, 100, 250, 400, 639};
+  OnlineTuner tuner(candidates, model_timer());
+  const auto shapes = test_shapes(16);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRepeats = 5;
+
+  // winners[t][s]: config index thread t observed for shape s (last repeat;
+  // all repeats must agree because the cache is write-once per shape).
+  std::vector<std::vector<std::size_t>> winners(
+      kThreads, std::vector<std::size_t>(shapes.size()));
+  std::atomic<bool> stable{true};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+        for (std::size_t s = 0; s < shapes.size(); ++s) {
+          const auto index = gemm::config_index(tuner.select(shapes[s]));
+          if (rep > 0 && winners[t][s] != index) stable.store(false);
+          winners[t][s] = index;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_TRUE(stable.load());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(winners[t][s], winners[0][s])
+          << "threads disagree on shape " << shapes[s].to_string();
+    }
+  }
+
+  // Every select() is counted exactly once, as a hit or a miss.
+  const std::size_t total = kThreads * kRepeats * shapes.size();
+  EXPECT_EQ(tuner.cache_hits() + tuner.cache_misses(), total);
+  // At least one sweep per shape; duplicates only from first-sight races.
+  EXPECT_GE(tuner.cache_misses(), shapes.size());
+  EXPECT_LE(tuner.cache_misses(), kThreads * shapes.size());
+  EXPECT_EQ(tuner.cached_shapes(), shapes.size());
+  EXPECT_GT(tuner.trial_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace aks::select

@@ -4,6 +4,9 @@
 //   aks_tune prune   [options]                  choose a kernel set, print it
 //   aks_tune train   [options]                  full pipeline; save/emit selector
 //   aks_tune select  --selector <file> M K N    query a saved selector
+//   aks_tune serve   [options]                  replay the shape corpus
+//                                               through the concurrent
+//                                               serving layer, print metrics
 //   aks_tune report                             one-page tuning summary
 //
 // Common options:
@@ -17,16 +20,22 @@
 //   --out <file>         where `train` writes the selector
 //   --emit-code          `train` prints the generated C++ selector
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/codegen.hpp"
+#include "core/online.hpp"
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
 #include "dataset/benchmark_runner.hpp"
+#include "serve/selection_service.hpp"
 
 namespace {
 
@@ -184,6 +193,95 @@ int cmd_select(const Args& args) {
   return 0;
 }
 
+// Replays the extracted shape corpus through serve::SelectionService with
+// --threads concurrent clients x --repeats passes, serving either the online
+// tuner (--serve-mode online, default) or a freshly trained selector
+// (--serve-mode learned), and prints the service metrics as CSV
+// (--metrics-out <file> to redirect).
+int cmd_serve(const Args& args) {
+  std::size_t threads = 4;
+  if (const auto it = args.options.find("threads"); it != args.options.end()) {
+    const int parsed = std::stoi(it->second);
+    AKS_CHECK(parsed >= 1 && parsed <= 256, "--threads must be in 1..256");
+    threads = static_cast<std::size_t>(parsed);
+  }
+  std::size_t repeats = 20;
+  if (const auto it = args.options.find("repeats"); it != args.options.end()) {
+    const int parsed = std::stoi(it->second);
+    AKS_CHECK(parsed >= 1, "--repeats must be positive");
+    repeats = static_cast<std::size_t>(parsed);
+  }
+  const auto mode_it = args.options.find("serve-mode");
+  const std::string mode =
+      mode_it == args.options.end() ? "online" : mode_it->second;
+  AKS_CHECK(mode == "online" || mode == "learned",
+            "--serve-mode must be online | learned");
+
+  const auto dataset = dataset_from(args);
+  const auto split = dataset.split(0.8, 1);
+  const auto pruner = select::make_pruner(prune_method_from(args));
+  const auto allowed = pruner->prune(split.train, budget_from(args));
+
+  std::vector<gemm::GemmShape> corpus;
+  for (const auto& lowered : data::extract_all_shapes()) {
+    corpus.push_back(lowered.shape);
+  }
+
+  const perf::TimingModel timing(device_from(args), 0.03, 42);
+  select::OnlineTuner tuner(
+      allowed, [&](const gemm::KernelConfig& config,
+                   const gemm::GemmShape& shape) {
+        return timing.best_of(config, shape, 5);
+      });
+  std::unique_ptr<select::KernelSelector> learned;
+  std::unique_ptr<serve::SelectionService> service;
+  if (mode == "learned") {
+    learned = std::make_unique<select::DecisionTreeSelector>();
+    learned->fit(split.train, allowed);
+    service = std::make_unique<serve::SelectionService>(*learned);
+  } else {
+    service = std::make_unique<serve::SelectionService>(tuner);
+  }
+
+  std::cerr << "serving " << corpus.size() << " shapes x " << repeats
+            << " repeats on " << threads << " threads (" << mode << ")...\n";
+  common::Timer timer;
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      common::Rng rng(0xab5 + t);
+      std::vector<std::size_t> order(corpus.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        rng.shuffle(order);
+        for (const std::size_t s : order) (void)service->select(corpus[s]);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = timer.elapsed_seconds();
+
+  const auto stats = service->stats();
+  const auto total = static_cast<double>(threads * repeats * corpus.size());
+  std::cout << "served " << static_cast<std::uint64_t>(total) << " selects in "
+            << seconds << "s (" << total / seconds << "/s)\n"
+            << "  hits " << stats.hits << ", misses " << stats.misses
+            << ", coalesced waits " << stats.coalesced_waits
+            << ", duplicate sweeps " << stats.duplicate_sweeps << "\n"
+            << "  cached shapes " << stats.cached_shapes
+            << ", warm-up seconds " << stats.warmup_seconds << "\n";
+  if (const auto out = args.options.find("metrics-out");
+      out != args.options.end()) {
+    std::ofstream file(out->second);
+    AKS_CHECK(file.good(), "cannot open " << out->second);
+    service->metrics().write_csv(file);
+    std::cout << "  metrics written to " << out->second << "\n";
+  } else {
+    service->metrics().write_csv(std::cout);
+  }
+  return stats.duplicate_sweeps == 0 ? 0 : 1;
+}
+
 int cmd_report(const Args& args) {
   const auto dataset = dataset_from(args);
   const auto counts = dataset.optimal_counts();
@@ -211,6 +309,9 @@ void print_usage() {
       "  prune               choose a kernel set and print it\n"
       "  train               full pipeline; --out/--emit-code to deploy\n"
       "  select --selector <file> M K N\n"
+      "  serve               replay the corpus through the serving layer\n"
+      "                      (--threads N --repeats R --serve-mode\n"
+      "                      online|learned --metrics-out <csv>)\n"
       "  report              one-page tuning summary\n"
       "options: --dataset <csv> --device r9nano|igpu|embedded\n"
       "         --device-file <key=value file> (see DeviceSpec::from_file)\n"
@@ -228,6 +329,7 @@ int main(int argc, char** argv) {
     if (args.command == "prune") return cmd_prune(args);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "select") return cmd_select(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "report") return cmd_report(args);
     print_usage();
     return args.command.empty() ? 1 : 2;
