@@ -10,6 +10,8 @@
 #include "common/matrix.hpp"     // IWYU pragma: export
 #include "common/rng.hpp"        // IWYU pragma: export
 #include "common/stats.hpp"      // IWYU pragma: export
+#include "faults/fault_plan.hpp" // IWYU pragma: export
+#include "faults/injector.hpp"   // IWYU pragma: export
 #include "syclrt/buffer.hpp"     // IWYU pragma: export
 #include "syclrt/queue.hpp"      // IWYU pragma: export
 #include "gemm/config.hpp"       // IWYU pragma: export

@@ -9,6 +9,19 @@
 // asymptotically, but a warm-up cost of |candidates| trial runs per novel
 // shape — exactly the trade-off bench/ablation_online_vs_learned measures.
 //
+// Degradation contract (see DESIGN.md "Fault model"): a trial that throws
+// (launch failure, hang killed at the deadline) or returns a non-finite /
+// non-positive time is *not* an error of select(). The trial is retried up
+// to TunerOptions::trial_attempts; a candidate whose sweeps keep failing is
+// quarantined after quarantine_threshold consecutive sweep-level failures
+// and skipped from then on (so a kernel that cannot launch stops burning
+// warm-up budget and can never win); and when every candidate of a sweep
+// fails, select() returns the guaranteed fallback configuration — the first
+// candidate, which is immune to quarantine — instead of throwing. select()
+// never throws on a degraded zoo. Faults are drawn at Site::kWarmUpTrial /
+// Site::kKernelLaunch (the trial arms both), keyed on (shape, candidate,
+// attempt) so fault sequences replay bit-identically.
+//
 // Thread safety: select() may be called concurrently. Cache lookups take a
 // shared lock; the trial sweep runs unlocked and the first finished sweep
 // for a shape wins (every caller returns that winner, so results are
@@ -33,18 +46,37 @@
 
 namespace aks::select {
 
+struct TunerOptions {
+  /// Consecutive failed sweeps (no valid trial for the candidate in a
+  /// select() sweep) before a candidate is quarantined. 0 disables
+  /// quarantine.
+  std::size_t quarantine_threshold = 3;
+  /// Trial attempts per candidate per sweep before the candidate counts as
+  /// failed for that sweep.
+  int trial_attempts = 2;
+};
+
 class OnlineTuner {
  public:
-  /// Times one run of `config` on `shape`, returning seconds.
+  /// Times one run of `config` on `shape`, returning seconds. May throw and
+  /// may return garbage under fault injection; the tuner owns recovery.
   using TimerFn =
       std::function<double(const gemm::KernelConfig&, const gemm::GemmShape&)>;
 
   /// `candidates` are canonical configuration indices; `timer` is invoked
-  /// once per candidate on every cache miss.
-  OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer);
+  /// up to trial_attempts times per eligible candidate on every cache miss.
+  /// The first candidate doubles as the guaranteed fallback: it is never
+  /// quarantined and is served when a whole sweep fails.
+  OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer,
+              TunerOptions options = {});
 
   /// Best candidate for the shape; benchmarks on first sight of the shape.
+  /// Never throws on trial failures — degrades to the fallback config.
   [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
+
+  /// The configuration served when every candidate of a sweep fails (the
+  /// first candidate — always a valid, runnable member of the zoo).
+  [[nodiscard]] gemm::KernelConfig fallback_config() const;
 
   /// Statistics for the warm-up-cost analysis.
   [[nodiscard]] std::size_t cache_hits() const {
@@ -58,13 +90,37 @@ class OnlineTuner {
   [[nodiscard]] double trial_seconds() const { return trial_seconds_.value(); }
   [[nodiscard]] std::size_t cached_shapes() const;
 
+  // -- Degradation telemetry.
+
+  /// Canonical indices currently quarantined, ascending.
+  [[nodiscard]] std::vector<std::size_t> quarantined() const;
+  [[nodiscard]] bool is_quarantined(std::size_t canonical_index) const;
+  /// Trials that failed (threw or returned an unusable time).
+  [[nodiscard]] std::size_t trial_failures() const {
+    return trial_failures_.load(std::memory_order_relaxed);
+  }
+  /// Sweeps in which every candidate failed and the fallback was served.
+  [[nodiscard]] std::size_t degraded_selects() const {
+    return degraded_selects_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct CandidateHealth {
+    std::size_t consecutive_failures = 0;
+    bool quarantined = false;
+  };
+
   std::vector<std::size_t> candidates_;
   TimerFn timer_;
+  TunerOptions options_;
   mutable std::shared_mutex mutex_;
   std::map<gemm::GemmShape, std::size_t> cache_;
+  /// Health per candidate (by position in candidates_); guarded by mutex_.
+  std::vector<CandidateHealth> health_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> trial_failures_{0};
+  std::atomic<std::size_t> degraded_selects_{0};
   common::Accumulator trial_seconds_;
 };
 

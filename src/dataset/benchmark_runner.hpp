@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/metrics.hpp"
 #include "dataset/extract.hpp"
 #include "dataset/perf_dataset.hpp"
 #include "perfmodel/cost_model.hpp"
@@ -35,7 +36,56 @@ struct RunnerOptions {
   /// output interleaving. `done` is the completion count at call time and
   /// is strictly increasing across the serialized calls.
   std::function<void(std::size_t done, std::size_t total)> progress;
+
+  // -- Robust measurement (active only under a fault plan; see src/faults).
+  // Without an installed plan the runner takes the legacy best-of-N path,
+  // bit-identical to previous releases.
+
+  /// Extra measurement attempts per cell (and per row, for corrupt-row
+  /// recovery) when faults leave too few valid samples.
+  int max_retries = 3;
+  /// Base back-off before a retry, doubled per attempt. The default 0 skips
+  /// sleeping — in model mode a retry has no device to cool down — but the
+  /// budget is still recorded in `runner.backoff_seconds`.
+  double backoff_seconds = 0.0;
+  /// Reduction applied to the MAD-filtered samples of a cell.
+  enum class Aggregate { kBestOf, kMedian, kTrimmedMean };
+  Aggregate aggregate = Aggregate::kBestOf;
+  /// MAD rejection threshold (scaled MADs from the median).
+  double mad_threshold = 3.5;
+  /// Optional sink for the robustness counters: runner.launch_failures,
+  /// runner.hangs, runner.timing_nans, runner.outliers_rejected,
+  /// runner.retries, runner.cells_fell_back, runner.rows_corrupted,
+  /// runner.rows_repaired, runner.backoff_seconds. Must outlive the run.
+  common::MetricsRegistry* metrics = nullptr;
 };
+
+/// Outcome of one robustly measured (shape, config) cell.
+struct CellMeasurement {
+  /// Aggregated execution time; always finite and positive.
+  double seconds = 0.0;
+  /// Measurement attempts consumed (1 = no retry needed).
+  int attempts = 0;
+  /// Injected faults survived while measuring.
+  int launch_failures = 0;
+  int hangs = 0;
+  int nan_samples = 0;
+  int outliers_rejected = 0;
+  /// True when every attempt failed and the analytic noise-free model value
+  /// was used instead (the measurement layer's last-ditch degradation).
+  bool fell_back = false;
+};
+
+/// Robustly measures one (shape, config) cell against the timing model:
+/// retry-with-backoff around injected launch failures/hangs, NaN-sample
+/// rejection, MAD-based outlier rejection, then the configured reduction.
+/// Deterministic for a fixed fault plan: fault decisions are keyed on
+/// (shape, config, attempt), never on thread identity. Exposed for tests
+/// and the fault-matrix bench; run_model_benchmarks uses it per cell
+/// whenever a fault plan is active.
+[[nodiscard]] CellMeasurement measure_cell_robust(
+    const perf::TimingModel& timing, const gemm::KernelConfig& config,
+    const gemm::GemmShape& shape, const RunnerOptions& options = {});
 
 /// Runs the full (shapes x 640 configs) sweep against the timing model for
 /// `device` and returns the assembled dataset.

@@ -1,0 +1,136 @@
+// Deterministic fault-injection plans — what can go wrong, where, how often.
+//
+// The benchmark pipeline (and everything downstream of it: PCA, pruning,
+// runtime selection) rests on trusted timings. A FaultPlan describes a
+// reproducible adversary for that trust: per injection *site* (kernel
+// launch, host timing sample, dataset row assembly, warm-up trial) it gives
+// the probability of each fault *kind* the site can physically exhibit:
+//
+//   launch failure — the driver rejects the kernel launch (bad binary,
+//                    out-of-resources, lost device); surfaces as an
+//                    exception at the launch site;
+//   hang           — the kernel never completes; the watchdog kills it at a
+//                    deadline, so the caller loses `hang_seconds` of wall
+//                    time and then sees an exception;
+//   timing outlier — a measurement lands far from the true value (clock
+//                    migration, frequency ramp, co-tenant interference);
+//                    the sample is multiplied by a large factor, slow or —
+//                    more dangerous for best-of-N reductions — fast;
+//   timing NaN     — the measurement is lost entirely (overflowed counter,
+//                    failed event query);
+//   corrupt row    — a dataset record is damaged in flight (truncated CSV
+//                    write, bit-flipped cache line); the row's cells turn
+//                    non-finite.
+//
+// Every decision is a pure function of (plan seed, site, caller-supplied
+// key, draw index) — see injector.hpp — so the same plan and seed yield a
+// bit-identical fault sequence regardless of thread interleaving. Any
+// failure CI finds is replayable locally with `aks_tune --fault-plan` or
+// the AKS_FAULT_PLAN environment variable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace aks::faults {
+
+/// Where a fault can be injected. Each site is armed explicitly by the code
+/// path that owns recovery for it (see the degradation contract in
+/// DESIGN.md); un-armed code never observes injected faults.
+enum class Site : std::uint32_t {
+  kKernelLaunch = 0,  ///< syclrt::Queue submission / simulated launch.
+  kHostTiming = 1,    ///< one timing sample in dataset/benchmark_runner.
+  kDatasetRow = 2,    ///< one assembled dataset row (CSV record).
+  kWarmUpTrial = 3,   ///< one online-tuner candidate trial.
+};
+inline constexpr std::size_t kNumSites = 4;
+
+[[nodiscard]] const char* to_string(Site site);
+
+enum class FaultKind : std::uint32_t {
+  kNone = 0,
+  kLaunchFailure,
+  kHang,
+  kTimingOutlier,
+  kTimingNan,
+  kCorruptRow,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One injected fault. `magnitude` is the outlier multiplier for
+/// kTimingOutlier (may be < 1: an impossibly fast sample) and the simulated
+/// hang duration in seconds for kHang; 1.0 otherwise.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  double magnitude = 1.0;
+
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+/// Per-site fault probabilities. Kinds that make no physical sense at a
+/// site are simply left at zero by the canned plans; the injector draws
+/// whatever the table says.
+struct SiteRates {
+  double launch_failure = 0.0;
+  double hang = 0.0;
+  double timing_outlier = 0.0;
+  double timing_nan = 0.0;
+  double corrupt_row = 0.0;
+
+  [[nodiscard]] double total() const {
+    return launch_failure + hang + timing_outlier + timing_nan + corrupt_row;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 42;
+  std::array<SiteRates, kNumSites> sites{};
+  /// Outlier multipliers are log-uniform in [min, max]; half the draws are
+  /// inverted (fast outliers) to attack best-of-N reductions.
+  double outlier_min_factor = 4.0;
+  double outlier_max_factor = 64.0;
+  /// Simulated hang duration: the deadline at which the watchdog kills the
+  /// launch. Kept small so fault-matrix runs stay fast.
+  double hang_seconds = 1e-4;
+
+  [[nodiscard]] SiteRates& at(Site site) {
+    return sites[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] const SiteRates& at(Site site) const {
+    return sites[static_cast<std::size_t>(site)];
+  }
+
+  /// True when any site has a non-zero rate.
+  [[nodiscard]] bool any_active() const;
+  /// True when `site` has a non-zero rate (consumers use this to keep the
+  /// fault-free fast path bit-identical to the un-instrumented build).
+  [[nodiscard]] bool active(Site site) const { return at(site).total() > 0.0; }
+
+  /// All rates zero: installs over an environment plan to pin a test to
+  /// fault-free behaviour.
+  [[nodiscard]] static FaultPlan none();
+  /// Canned plans (the CI fault matrix). `rate` is the headline injection
+  /// probability; the mix across kinds is fixed per plan.
+  [[nodiscard]] static FaultPlan timing_noise_heavy(double rate = 0.3,
+                                                    std::uint64_t seed = 42);
+  [[nodiscard]] static FaultPlan launch_failure_heavy(double rate = 0.3,
+                                                      std::uint64_t seed = 42);
+  [[nodiscard]] static FaultPlan mixed(double rate = 0.3,
+                                       std::uint64_t seed = 42);
+
+  /// Parses a plan spec:
+  ///   "none" | "timing-noise-heavy" | "launch-failure-heavy" | "mixed",
+  ///   optionally "@<rate>" (e.g. "mixed@0.3"), or a comma-separated
+  ///   key=value list: seed, launch, hang, outlier, nan, row, warmup
+  ///   (probabilities at the natural site of each kind), outlier-min,
+  ///   outlier-max, hang-ms. Throws common::Error on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Canonical key=value form (plans expressible in the key grammar
+  /// round-trip through parse()).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace aks::faults

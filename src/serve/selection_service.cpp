@@ -27,10 +27,13 @@ thread_local std::uint32_t tl_latency_tick = 0;
 
 SelectionService::SelectionService(WarmUpFn warm_up, ServiceOptions options)
     : warm_up_(std::move(warm_up)),
+      fallback_(options.fallback),
       hits_(metrics_.counter("serve.hits")),
       misses_(metrics_.counter("serve.misses")),
       coalesced_waits_(metrics_.counter("serve.coalesced_waits")),
       duplicate_sweeps_(metrics_.counter("serve.duplicate_sweeps")),
+      warmup_failures_(metrics_.counter("serve.warmup_failures")),
+      fallbacks_served_(metrics_.counter("serve.fallbacks_served")),
       warmup_seconds_(metrics_.accumulator("serve.warmup_seconds")),
       select_latency_(metrics_.histogram("serve.select_latency")),
       warmup_latency_(metrics_.histogram("serve.warmup_latency")) {
@@ -98,6 +101,7 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
     });
   }
   if (entry->error) std::rethrow_exception(entry->error);
+  if (entry->fallback) fallbacks_served_.add();
   return entry->config;
 }
 
@@ -121,22 +125,38 @@ gemm::KernelConfig SelectionService::run_warm_up(
   warmup_latency_.record_seconds(seconds);
   warmup_seconds_.add(seconds);
 
+  bool degraded = false;
+  if (error) {
+    warmup_failures_.add();
+    if (fallback_.has_value()) {
+      // Degradation contract: serve the fallback to the leader and every
+      // waiter instead of propagating; select() never throws. The entry is
+      // still dropped below so the next request retries the warm-up.
+      config = *fallback_;
+      error = nullptr;
+      degraded = true;
+    }
+  }
+
   {
     std::lock_guard lock(entry->m);
     entry->config = config;
     entry->error = error;
+    entry->fallback = degraded;
     entry->ready.store(true, std::memory_order_release);
   }
   entry->cv.notify_all();
 
-  if (error) {
+  if (error || degraded) {
     // Drop the failed entry so a later request retries the warm-up;
-    // current waiters still observe the error through their Entry ref.
+    // current waiters still observe the published result (error or
+    // fallback) through their Entry ref.
     std::lock_guard lock(shard.m);
     const auto it = shard.map.find(shape);
     if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
-    std::rethrow_exception(error);
   }
+  if (error) std::rethrow_exception(error);
+  if (degraded) fallbacks_served_.add();
   return config;
 }
 
@@ -163,6 +183,8 @@ ServiceStats SelectionService::stats() const {
   stats.misses = misses_.value();
   stats.coalesced_waits = coalesced_waits_.value();
   stats.duplicate_sweeps = duplicate_sweeps_.value();
+  stats.warmup_failures = warmup_failures_.value();
+  stats.fallbacks_served = fallbacks_served_.value();
   stats.warmup_seconds = warmup_seconds_.value();
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->m);

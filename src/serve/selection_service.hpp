@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,13 @@ namespace aks::serve {
 struct ServiceOptions {
   /// Number of cache shards; rounded up to a power of two, minimum 1.
   std::size_t num_shards = 16;
+  /// Degradation contract (see DESIGN.md "Fault model"): when set, a
+  /// warm-up that throws serves this configuration to the leader and every
+  /// coalesced waiter instead of rethrowing — select() never throws. The
+  /// fallback answer is *not* cached: the entry is dropped so the next
+  /// request for the shape retries the warm-up. When unset (the default),
+  /// warm-up errors propagate to all callers as before.
+  std::optional<gemm::KernelConfig> fallback;
 };
 
 /// Snapshot of the service counters (each individually monotonic).
@@ -61,6 +69,11 @@ struct ServiceStats {
   std::uint64_t coalesced_waits = 0;
   /// Warm-ups that ran for an already-warm shape; 0 by construction.
   std::uint64_t duplicate_sweeps = 0;
+  /// Warm-ups that threw (injected or real).
+  std::uint64_t warmup_failures = 0;
+  /// Requests (leader + waiters) answered with the fallback configuration
+  /// after a failed warm-up; 0 unless ServiceOptions::fallback is set.
+  std::uint64_t fallbacks_served = 0;
   /// Wall seconds spent inside the warm-up function.
   double warmup_seconds = 0.0;
   /// Shapes currently cached (including in-flight entries).
@@ -106,6 +119,9 @@ class SelectionService {
     std::atomic<bool> ready{false};
     gemm::KernelConfig config{};
     std::exception_ptr error;
+    /// True when `config` is the service-level fallback published after a
+    /// failed warm-up (written once under m before `ready`).
+    bool fallback = false;
     /// Warm-up invocations for this shape; >1 would be a duplicate sweep.
     std::atomic<std::uint32_t> sweeps{0};
   };
@@ -128,6 +144,7 @@ class SelectionService {
   void sync_hits() const;
 
   WarmUpFn warm_up_;
+  std::optional<gemm::KernelConfig> fallback_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;
   mutable std::mutex sync_mutex_;
@@ -138,6 +155,8 @@ class SelectionService {
   common::Counter& misses_;
   common::Counter& coalesced_waits_;
   common::Counter& duplicate_sweeps_;
+  common::Counter& warmup_failures_;
+  common::Counter& fallbacks_served_;
   common::Accumulator& warmup_seconds_;
   common::LatencyHistogram& select_latency_;
   common::LatencyHistogram& warmup_latency_;

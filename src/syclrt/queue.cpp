@@ -19,6 +19,7 @@ Queue::Queue(Device device, common::ThreadPool* pool)
       pool_(pool != nullptr ? pool : &common::ThreadPool::global()) {}
 
 Event Queue::single_task(const std::function<void()>& task) {
+  faults::maybe_inject_launch_fault();
   common::Timer timer;
   task();
   Event event;

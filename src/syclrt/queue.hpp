@@ -33,6 +33,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "faults/injector.hpp"
 #include "syclrt/device.hpp"
 #include "syclrt/instrument.hpp"
 #include "syclrt/nd_item.hpp"
@@ -137,6 +138,10 @@ class Queue {
   template <int Dims, typename Kernel>
   Event parallel_for(NdRange<Dims> range, Kernel&& kernel) {
     validate(range);
+    // Fault-injection hook: inside an armed measurement scope this may
+    // throw LaunchFailure / DeadlineExceeded before any work is dispatched
+    // (see src/faults). A no-op everywhere else.
+    faults::maybe_inject_launch_fault();
     const Range<Dims> groups = range.group_count();
     const Range<Dims> local = range.local();
     const Range<Dims> logical = range.global();
@@ -160,6 +165,7 @@ class Queue {
     Range<Dims> logical;
     for (int d = 0; d < Dims; ++d) logical[d] = num_groups[d] * group_size[d];
     validate(NdRange<Dims>(logical, group_size));
+    faults::maybe_inject_launch_fault();
     common::Timer timer;
     for_each_group(num_groups, [&](Id<Dims> group) {
       body(WorkGroup<Dims>(group, group_size, logical));

@@ -1,0 +1,115 @@
+// MetricsRegistry CSV export: the fault-matrix tooling and `aks_tune serve
+// --metrics-out` parse this format back, so it must round-trip through the
+// repo's own CSV reader — including the degenerate empty-histogram rows.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/metrics.hpp"
+
+namespace aks::common {
+namespace {
+
+class MetricsCsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::filesystem::remove(path_);
+  }
+
+  std::filesystem::path write_registry(const MetricsRegistry& registry) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("aks_metrics_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             ".csv");
+    std::ofstream out(path_);
+    registry.write_csv(out);
+    return path_;
+  }
+
+  std::filesystem::path path_;
+};
+
+// (name, kind, field) -> value, as parsed back by the repo's CSV reader.
+std::map<std::string, std::string> index_rows(const CsvTable& table) {
+  std::map<std::string, std::string> out;
+  const auto name = table.column_index("name");
+  const auto kind = table.column_index("kind");
+  const auto field = table.column_index("field");
+  const auto value = table.column_index("value");
+  for (const auto& row : table.rows) {
+    out[row[name] + "|" + row[kind] + "|" + row[field]] = row[value];
+  }
+  return out;
+}
+
+TEST_F(MetricsCsvTest, CountersAndAccumulatorsRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("runner.launch_failures").add(7);
+  registry.counter("runner.retries");  // registered but never incremented
+  registry.accumulator("runner.backoff_seconds").add(0.25);
+  registry.accumulator("runner.backoff_seconds").add(0.5);
+
+  const auto table = read_csv(write_registry(registry));
+  ASSERT_EQ(table.header,
+            (std::vector<std::string>{"name", "kind", "field", "value"}));
+  const auto rows = index_rows(table);
+  EXPECT_EQ(rows.at("runner.launch_failures|counter|value"), "7");
+  EXPECT_EQ(rows.at("runner.retries|counter|value"), "0");
+  EXPECT_DOUBLE_EQ(
+      std::stod(rows.at("runner.backoff_seconds|accumulator|value")), 0.75);
+}
+
+TEST_F(MetricsCsvTest, EmptyHistogramExportsZeroRowsNotNan) {
+  MetricsRegistry registry;
+  registry.histogram("serve.select_latency");  // zero samples
+
+  const auto table = read_csv(write_registry(registry));
+  const auto rows = index_rows(table);
+  EXPECT_EQ(rows.at("serve.select_latency|histogram|count"), "0");
+  // mean of an empty histogram must export as 0, never nan/inf.
+  EXPECT_DOUBLE_EQ(
+      std::stod(rows.at("serve.select_latency|histogram|mean_seconds")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      std::stod(rows.at("serve.select_latency|histogram|p99_seconds")), 0.0);
+}
+
+TEST_F(MetricsCsvTest, PopulatedHistogramRoundTrips) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("serve.warmup_latency");
+  histogram.record_seconds(1e-6);
+  histogram.record_seconds(2e-6);
+  histogram.record_seconds(1e-3);
+
+  const auto table = read_csv(write_registry(registry));
+  const auto rows = index_rows(table);
+  EXPECT_EQ(rows.at("serve.warmup_latency|histogram|count"), "3");
+  EXPECT_NEAR(
+      std::stod(rows.at("serve.warmup_latency|histogram|total_seconds")),
+      1e-6 + 2e-6 + 1e-3, 1e-9);
+  const double p50 =
+      std::stod(rows.at("serve.warmup_latency|histogram|p50_seconds"));
+  const double p99 =
+      std::stod(rows.at("serve.warmup_latency|histogram|p99_seconds"));
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+TEST_F(MetricsCsvTest, MixedRegistryParsesWithExactRowCount) {
+  MetricsRegistry registry;
+  registry.counter("a.counter").add(1);
+  registry.accumulator("b.accumulator").add(2.0);
+  registry.histogram("c.histogram").record_seconds(1e-6);
+
+  const auto table = read_csv(write_registry(registry));
+  // 1 counter row + 1 accumulator row + 6 histogram rows.
+  EXPECT_EQ(table.num_rows(), 8u);
+}
+
+}  // namespace
+}  // namespace aks::common

@@ -9,6 +9,7 @@
 #include "core/online.hpp"
 #include "core/pipeline.hpp"
 #include "dataset/benchmark_runner.hpp"
+#include "faults/injector.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "syclrt/queue.hpp"
 
@@ -44,6 +45,8 @@ TEST(OnlineTuner, PicksTrueBestCandidateWithoutNoise) {
 }
 
 TEST(OnlineTuner, CachesPerShape) {
+  // Exact one-trial-per-candidate accounting only holds fault-free.
+  faults::ScopedFaultPlan no_faults{faults::FaultPlan::none()};
   std::size_t timer_calls = 0;
   OnlineTuner tuner({0, 1, 2},
                     [&](const gemm::KernelConfig&, const gemm::GemmShape&) {

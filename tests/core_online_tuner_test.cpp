@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/online.hpp"
+#include "faults/injector.hpp"
 #include "gemm/config.hpp"
 #include "perfmodel/cost_model.hpp"
 
@@ -35,6 +36,9 @@ std::vector<gemm::GemmShape> test_shapes(std::size_t n) {
 }
 
 TEST(OnlineTunerConcurrency, SingleThreadedStatsContractUnchanged) {
+  // Pin fault-free behaviour: this test asserts the exact legacy timer-call
+  // accounting, which an AKS_FAULT_PLAN environment plan would perturb.
+  faults::ScopedFaultPlan no_faults{faults::FaultPlan::none()};
   const std::vector<std::size_t> candidates = {0, 100, 250, 400, 639};
   std::atomic<int> timer_calls{0};
   OnlineTuner tuner(candidates,

@@ -1,0 +1,136 @@
+// Dataset determinism, pinned two ways:
+//
+//  * byte-identity — building and saving the dataset twice with the same
+//    seed yields byte-identical CSVs, with and without an installed fault
+//    plan (fault decisions are pure in (plan seed, site, key), never in
+//    thread interleaving, so the thread-pooled sweep is reproducible);
+//
+//  * a committed golden slice — a hexfloat dump of selected cells checked
+//    against tests/data/fig1_golden_slice.csv, so a silent change to the
+//    timing model, the noise stream, or the measurement path fails loudly
+//    instead of drifting every downstream figure.
+//
+// Regenerate the golden after an *intentional* model change with:
+//   AKS_REGEN_GOLDEN=1 ./dataset_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark_runner.hpp"
+#include "faults/injector.hpp"
+
+namespace aks::data {
+namespace {
+
+#ifndef AKS_TEST_DATA_DIR
+#define AKS_TEST_DATA_DIR "tests/data"
+#endif
+
+std::vector<LoweredGemm> small_corpus() {
+  auto shapes = extract_all_shapes();
+  shapes.resize(8);
+  return shapes;
+}
+
+std::string read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::filesystem::path temp_csv(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("aks_golden_") + tag + ".csv");
+}
+
+PerfDataset build_small(const RunnerOptions& options) {
+  return run_model_benchmarks(small_corpus(), perf::DeviceSpec::amd_r9_nano(),
+                              options);
+}
+
+TEST(DatasetGolden, SameSeedSavesByteIdenticalCsv) {
+  faults::ScopedFaultPlan no_faults{faults::FaultPlan::none()};
+  RunnerOptions options;
+  const auto a = temp_csv("a");
+  const auto b = temp_csv("b");
+  build_small(options).save(a);
+  build_small(options).save(b);
+  EXPECT_EQ(read_bytes(a), read_bytes(b));
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
+}
+
+TEST(DatasetGolden, ByteIdenticalUnderReinstalledFaultPlan) {
+  RunnerOptions options;
+  const auto a = temp_csv("fault_a");
+  const auto b = temp_csv("fault_b");
+  {
+    faults::ScopedFaultPlan plan{faults::FaultPlan::mixed(0.3, 42)};
+    build_small(options).save(a);
+  }
+  {
+    faults::ScopedFaultPlan plan{faults::FaultPlan::mixed(0.3, 42)};
+    build_small(options).save(b);
+  }
+  EXPECT_EQ(read_bytes(a), read_bytes(b));
+  // And the degraded dataset still differs from the clean one somewhere —
+  // the plan actually fired (rate 0.3 over 8x640 cells).
+  const auto clean = temp_csv("fault_clean");
+  {
+    faults::ScopedFaultPlan none{faults::FaultPlan::none()};
+    build_small(options).save(clean);
+  }
+  EXPECT_NE(read_bytes(a), read_bytes(clean));
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
+  std::filesystem::remove(clean);
+}
+
+// Hexfloat dump of a fixed (shape, config) slice: bit-exact, portable
+// formatting independent of locale and printf rounding.
+std::string golden_slice() {
+  faults::ScopedFaultPlan no_faults{faults::FaultPlan::none()};
+  const auto dataset = build_small({});
+  const std::vector<std::size_t> rows = {0, 3, 7};
+  const std::vector<std::size_t> cols = {0, 100, 250, 400, 639};
+  std::ostringstream out;
+  out << "m,k,n,config,time_hex\n";
+  for (const std::size_t r : rows) {
+    const auto& shape = dataset.shapes()[r].shape;
+    for (const std::size_t c : cols) {
+      char hex[64];
+      std::snprintf(hex, sizeof hex, "%a", dataset.times()(r, c));
+      out << shape.m << "," << shape.k << "," << shape.n << "," << c << ","
+          << hex << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(DatasetGolden, SliceMatchesCommittedGolden) {
+  const std::filesystem::path golden_path =
+      std::filesystem::path(AKS_TEST_DATA_DIR) / "fig1_golden_slice.csv";
+  const std::string actual = golden_slice();
+  if (std::getenv("AKS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  ASSERT_TRUE(std::filesystem::exists(golden_path))
+      << golden_path << " missing; run with AKS_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(actual, read_bytes(golden_path))
+      << "dataset slice drifted from the committed golden; if the timing "
+         "model changed intentionally, regenerate with AKS_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace aks::data

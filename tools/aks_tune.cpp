@@ -35,6 +35,7 @@
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
 #include "dataset/benchmark_runner.hpp"
+#include "faults/injector.hpp"
 #include "serve/selection_service.hpp"
 
 namespace {
@@ -235,12 +236,21 @@ int cmd_serve(const Args& args) {
       });
   std::unique_ptr<select::KernelSelector> learned;
   std::unique_ptr<serve::SelectionService> service;
+  serve::ServiceOptions service_options;
+  if (faults::plan_active()) {
+    // Under an installed fault plan, serve the degradation contract: a
+    // failed warm-up answers with the tuner's guaranteed fallback instead
+    // of surfacing the error to clients.
+    service_options.fallback = tuner.fallback_config();
+  }
   if (mode == "learned") {
     learned = std::make_unique<select::DecisionTreeSelector>();
     learned->fit(split.train, allowed);
-    service = std::make_unique<serve::SelectionService>(*learned);
+    service = std::make_unique<serve::SelectionService>(*learned,
+                                                        service_options);
   } else {
-    service = std::make_unique<serve::SelectionService>(tuner);
+    service = std::make_unique<serve::SelectionService>(tuner,
+                                                        service_options);
   }
 
   std::cerr << "serving " << corpus.size() << " shapes x " << repeats
@@ -270,6 +280,15 @@ int cmd_serve(const Args& args) {
             << ", duplicate sweeps " << stats.duplicate_sweeps << "\n"
             << "  cached shapes " << stats.cached_shapes
             << ", warm-up seconds " << stats.warmup_seconds << "\n";
+  if (faults::plan_active()) {
+    std::cout << "  warm-up failures " << stats.warmup_failures
+              << ", fallbacks served " << stats.fallbacks_served
+              << ", quarantined configs " << tuner.quarantined().size()
+              << ", degraded selects " << tuner.degraded_selects() << "\n"
+              << "  fault probes " << faults::probes_total()
+              << ", faults injected " << faults::faults_injected_total()
+              << "\n";
+  }
   if (const auto out = args.options.find("metrics-out");
       out != args.options.end()) {
     std::ofstream file(out->second);
@@ -317,7 +336,11 @@ void print_usage() {
       "         --device-file <key=value file> (see DeviceSpec::from_file)\n"
       "         --method topn|kmeans|hdbscan|pca-kmeans|dtree|agglo\n"
       "         --selector-method dtree|forest|1nn|3nn|linear-svm|radial-svm|gbm\n"
-      "         --n <budget> --out <file> --emit-code\n";
+      "         --n <budget> --out <file> --emit-code\n"
+      "         --fault-plan <spec>  inject deterministic faults (canned:\n"
+      "                      none|timing-noise-heavy|launch-failure-heavy|\n"
+      "                      mixed, optional @rate, or key=value pairs —\n"
+      "                      see DESIGN.md; overrides AKS_FAULT_PLAN)\n";
 }
 
 }  // namespace
@@ -325,6 +348,16 @@ void print_usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    // Install the fault plan before any command runs so every layer
+    // (dataset runner, tuner, serving) sees the same plan for the whole
+    // process; takes precedence over the AKS_FAULT_PLAN environment plan.
+    std::optional<aks::faults::ScopedFaultPlan> fault_plan;
+    if (const auto it = args.options.find("fault-plan");
+        it != args.options.end()) {
+      const auto plan = aks::faults::FaultPlan::parse(it->second);
+      fault_plan.emplace(plan);
+      std::cerr << "fault plan: " << plan.to_string() << "\n";
+    }
     if (args.command == "dataset") return cmd_dataset(args);
     if (args.command == "prune") return cmd_prune(args);
     if (args.command == "train") return cmd_train(args);
