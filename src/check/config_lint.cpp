@@ -131,15 +131,24 @@ std::vector<LintFinding> lint_config(const gemm::KernelConfig& config,
     add(LintRule::local_memory, os.str());
   }
 
-  // The staging loads along K are emitted as acc_size-wide vectors; they
-  // must decompose into whole native vectors (acc >= width) or fit inside
-  // one (acc < width and divides it). Anything else needs scalar fix-up
-  // code the kernel family does not have.
+  // The staging loads along K are emitted as acc_size-wide vectors and the
+  // B staging / C store address col_tile contiguous columns; each width
+  // must decompose into whole native vectors or fit inside one, or the
+  // accesses cannot be emitted as full vectors — scalar fix-up code the
+  // kernel family does not have. Both widths go through the same tail
+  // predicate the symbolic verifier's capacity check uses (previously only
+  // acc_size was linted, so a config whose store width broke the vector
+  // tail passed the lint but failed the replay layer).
   const int vec = device.vector_width;
-  const int acc = config.acc_size;
-  if (vec > 0 && acc % vec != 0 && vec % acc != 0) {
+  if (!vector_tail_ok(config.acc_size, vec)) {
     std::ostringstream os;
-    os << "accumulator step " << acc
+    os << "accumulator step " << config.acc_size
+       << " does not tile into native vector width " << vec;
+    add(LintRule::vector_width, os.str());
+  }
+  if (!vector_tail_ok(config.col_tile, vec)) {
+    std::ostringstream os;
+    os << "column-tile store width " << config.col_tile
        << " does not tile into native vector width " << vec;
     add(LintRule::vector_width, os.str());
   }

@@ -85,6 +85,16 @@ struct LintReport {
 [[nodiscard]] std::size_t local_memory_footprint_bytes(
     const gemm::KernelConfig& config);
 
+/// True when a `width`-wide staged access decomposes into whole native
+/// vectors (width >= native) or fits inside one (width < native and
+/// divides it). The single tail predicate shared by the vector_width lint
+/// rule and the symbolic verifier's capacity-vector-width check, so the
+/// two static layers can never disagree.
+[[nodiscard]] constexpr bool vector_tail_ok(int width, int native) {
+  if (native <= 0 || width <= 0) return true;
+  return width % native == 0 || native % width == 0;
+}
+
 /// Lints one (config, device) pair; returns the violated rules (empty when
 /// the pair is valid).
 [[nodiscard]] std::vector<LintFinding> lint_config(

@@ -1,0 +1,37 @@
+// SARIF-ish JSON serialisation of the static-analysis reports.
+//
+// CI dashboards and editor integrations consume static-analysis results as
+// JSON; this module renders the lint and certify reports in a small
+// SARIF-inspired schema (one "run" with the tool name and a flat "results"
+// array; each result carries ruleId, level, the config and device it
+// applies to, the shape precondition or counterexample, and a message).
+// The schema is deliberately minimal — no external JSON dependency exists
+// in this repo, so the writer below emits the subset it needs with correct
+// string escaping.
+//
+//   level mapping:  SAFE -> "note", UNKNOWN -> "warning",
+//                   UNSAFE / lint finding -> "error".
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "check/config_lint.hpp"
+#include "check/symbolic/certificate.hpp"
+
+namespace aks::check {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Renders a lint report: every finding becomes an "error" result.
+[[nodiscard]] std::string to_json(const LintReport& report);
+
+/// Renders a certify report: one result per certificate, level by verdict.
+[[nodiscard]] std::string to_json(const symbolic::CertifyReport& report);
+
+/// Writes `json` to `path` (trailing newline added).
+void save_json(const std::filesystem::path& path, const std::string& json);
+
+}  // namespace aks::check

@@ -1,0 +1,95 @@
+#include "check/symbolic/affine.hpp"
+
+#include <cstdlib>
+
+namespace aks::check::symbolic {
+
+std::string_view to_string(Sym sym) {
+  switch (sym) {
+    case Sym::row0: return "Row0";
+    case Sym::col0: return "Col0";
+    case Sym::batch_idx: return "BatchIdx";
+    case Sym::batch: return "Batch";
+    case Sym::m: return "M";
+    case Sym::k: return "K";
+    case Sym::n: return "N";
+  }
+  return "?";
+}
+
+bool AffineExpr::is_constant() const {
+  for (const std::int64_t c : coeffs_) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& rhs) const {
+  AffineExpr out = *this;
+  out.constant_ += rhs.constant_;
+  for (std::size_t i = 0; i < kNumSymbols; ++i) out.coeffs_[i] += rhs.coeffs_[i];
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& rhs) const {
+  AffineExpr out = *this;
+  out.constant_ -= rhs.constant_;
+  for (std::size_t i = 0; i < kNumSymbols; ++i) out.coeffs_[i] -= rhs.coeffs_[i];
+  return out;
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t scale) const {
+  AffineExpr out = *this;
+  out.constant_ *= scale;
+  for (auto& c : out.coeffs_) c *= scale;
+  return out;
+}
+
+AffineExpr AffineExpr::substitute(Sym s, const AffineExpr& replacement) const {
+  const std::int64_t c = coeff(s);
+  if (c == 0) return *this;
+  AffineExpr out = *this;
+  out.coeffs_[sym_index(s)] = 0;
+  return out + replacement * c;
+}
+
+std::int64_t AffineExpr::eval(const Point& point) const {
+  std::int64_t v = constant_;
+  for (std::size_t i = 0; i < kNumSymbols; ++i) v += coeffs_[i] * point[i];
+  return v;
+}
+
+std::string AffineExpr::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumSymbols; ++i) {
+    const std::int64_t c = coeffs_[i];
+    if (c == 0) continue;
+    const std::string_view name = symbolic::to_string(static_cast<Sym>(static_cast<int>(i)));
+    if (out.empty()) {
+      if (c == 1) {
+        out += name;
+      } else if (c == -1) {
+        out += "-";
+        out += name;
+      } else {
+        out += std::to_string(c) + "*" + std::string(name);
+      }
+      continue;
+    }
+    out += c > 0 ? " + " : " - ";
+    const std::int64_t mag = std::abs(c);
+    if (mag != 1) out += std::to_string(mag) + "*";
+    out += name;
+  }
+  if (constant_ != 0 || out.empty()) {
+    if (out.empty()) {
+      out = std::to_string(constant_);
+    } else {
+      out += constant_ > 0 ? " + " : " - ";
+      out += std::to_string(std::abs(constant_));
+    }
+  }
+  return out;
+}
+
+}  // namespace aks::check::symbolic

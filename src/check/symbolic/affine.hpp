@@ -1,0 +1,106 @@
+// Affine index expressions over the shape-symbolic vocabulary.
+//
+// The symbolic access verifier reasons about kernel index arithmetic as
+// affine expressions `c0 + Σ ci·Si` over a fixed symbol set: the GEMM shape
+// (M, K, N), the batch count of a batched launch, and the per-work-item tile
+// origins the launch schedule assigns (Row0, Col0, BatchIdx). Keeping the
+// symbol set closed lets expressions live in a fixed-size coefficient array
+// — no allocation, O(1) arithmetic — which matters because the prover in
+// domain.hpp evaluates thousands of these per configuration.
+//
+// The deliberate restriction to *affine* forms is what makes verification
+// decidable here: products of symbols (buffer sizes like M·K) never appear
+// as expressions; buffers are modelled two-dimensionally (rows x cols) so
+// every obligation stays linear. See access_summary.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace aks::check::symbolic {
+
+/// The closed symbol vocabulary. Order encodes the prover's elimination
+/// order: tile-origin symbols first (their bounds may reference shape
+/// symbols), then batch, then the shape symbols (constant bounds only).
+enum class Sym : int {
+  row0 = 0,   ///< Row origin of the work-item's output tile.
+  col0 = 1,   ///< Column origin of the work-item's output tile.
+  batch_idx = 2,  ///< Batch-entry index of a batched launch.
+  batch = 3,  ///< Number of batch entries.
+  m = 4,
+  k = 5,
+  n = 6,
+};
+
+inline constexpr int kNumSymbols = 7;
+
+/// Array index of a symbol (the enum values are dense from 0).
+[[nodiscard]] constexpr std::size_t sym_index(Sym s) {
+  return static_cast<std::size_t>(s);
+}
+
+[[nodiscard]] std::string_view to_string(Sym sym);
+
+/// A concrete assignment of every symbol.
+using Point = std::array<std::int64_t, kNumSymbols>;
+
+/// `constant + Σ coeff[s]·s` with 64-bit integer coefficients. The shapes
+/// and tile parameters this repo handles are far below 2^31, so ordinary
+/// int64 arithmetic cannot overflow in practice; expressions are small and
+/// value-semantic.
+class AffineExpr {
+ public:
+  constexpr AffineExpr() = default;
+
+  [[nodiscard]] static AffineExpr constant(std::int64_t value) {
+    AffineExpr e;
+    e.constant_ = value;
+    return e;
+  }
+  [[nodiscard]] static AffineExpr sym(Sym s, std::int64_t coeff = 1) {
+    AffineExpr e;
+    e.coeffs_[sym_index(s)] = coeff;
+    return e;
+  }
+
+  [[nodiscard]] std::int64_t constant_term() const { return constant_; }
+  [[nodiscard]] std::int64_t coeff(Sym s) const {
+    return coeffs_[sym_index(s)];
+  }
+  [[nodiscard]] bool is_constant() const;
+  /// True when only `s` (and the constant) appears.
+  [[nodiscard]] bool depends_on(Sym s) const { return coeff(s) != 0; }
+
+  [[nodiscard]] AffineExpr operator+(const AffineExpr& rhs) const;
+  [[nodiscard]] AffineExpr operator-(const AffineExpr& rhs) const;
+  [[nodiscard]] AffineExpr operator*(std::int64_t scale) const;
+  [[nodiscard]] AffineExpr operator+(std::int64_t c) const {
+    return *this + constant(c);
+  }
+  [[nodiscard]] AffineExpr operator-(std::int64_t c) const {
+    return *this - constant(c);
+  }
+  [[nodiscard]] bool operator==(const AffineExpr&) const = default;
+
+  /// Replaces `s` with `replacement` (multiplied by s's coefficient).
+  [[nodiscard]] AffineExpr substitute(Sym s, const AffineExpr& replacement) const;
+
+  [[nodiscard]] std::int64_t eval(const Point& point) const;
+
+  /// Rendering like "M - Row0 - 8"; "0" for the zero expression.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t constant_ = 0;
+  std::array<std::int64_t, kNumSymbols> coeffs_{};
+};
+
+/// Shorthand builders used throughout the summary generators.
+[[nodiscard]] inline AffineExpr sym_m() { return AffineExpr::sym(Sym::m); }
+[[nodiscard]] inline AffineExpr sym_k() { return AffineExpr::sym(Sym::k); }
+[[nodiscard]] inline AffineExpr sym_n() { return AffineExpr::sym(Sym::n); }
+[[nodiscard]] inline AffineExpr sym_row0() { return AffineExpr::sym(Sym::row0); }
+[[nodiscard]] inline AffineExpr sym_col0() { return AffineExpr::sym(Sym::col0); }
+
+}  // namespace aks::check::symbolic

@@ -1,0 +1,153 @@
+#include "check/symbolic/domain.hpp"
+
+namespace aks::check::symbolic {
+
+namespace {
+
+/// Positive remainder of `v` modulo `m` (m > 0).
+std::int64_t pos_mod(std::int64_t v, std::int64_t m) {
+  const std::int64_t r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Smallest value >= `lo` congruent to residue (mod modulus).
+AffineExpr align_lower(const AffineExpr& bound, const SymConstraint& sc) {
+  if (sc.modulus <= 1 || !bound.is_constant()) return bound;
+  const std::int64_t lo = bound.constant_term();
+  return AffineExpr::constant(lo + pos_mod(sc.residue - lo, sc.modulus));
+}
+
+/// Largest value <= `up` congruent to residue (mod modulus).
+AffineExpr align_upper(const AffineExpr& bound, const SymConstraint& sc) {
+  if (sc.modulus <= 1 || !bound.is_constant()) return bound;
+  const std::int64_t up = bound.constant_term();
+  return AffineExpr::constant(up - pos_mod(up - sc.residue, sc.modulus));
+}
+
+bool prove_from(const AffineExpr& expr, const ShapeDomain& domain, int index) {
+  if (index == kNumSymbols) {
+    return expr.is_constant() && expr.constant_term() >= 0;
+  }
+  const Sym s = static_cast<Sym>(index);
+  const std::int64_t c = expr.coeff(s);
+  if (c == 0) return prove_from(expr, domain, index + 1);
+  const SymConstraint& sc = domain.constraint(s);
+  if (!sc.active) return false;
+  // Positive coefficient: the expression is minimised at the symbol's
+  // minimum, so substituting any lower bound only under-estimates — a
+  // non-negative result is then valid for the whole range. Negative
+  // coefficient: symmetric with upper bounds; an unbounded symbol with a
+  // negative coefficient can never be proved.
+  const auto& bounds = c > 0 ? sc.lower : sc.upper;
+  for (const AffineExpr& bound : bounds) {
+    const AffineExpr aligned =
+        c > 0 ? align_lower(bound, sc) : align_upper(bound, sc);
+    if (prove_from(expr.substitute(s, aligned), domain, index + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ShapeDomain::add_symbol(Sym s, std::int64_t lo) {
+  SymConstraint& sc = constraints_[sym_index(s)];
+  sc.active = true;
+  sc.lower.push_back(AffineExpr::constant(lo));
+}
+
+void ShapeDomain::add_symbol(Sym s, std::int64_t lo, const AffineExpr& hi) {
+  add_symbol(s, lo);
+  constraints_[sym_index(s)].upper.push_back(hi);
+}
+
+void ShapeDomain::add_lower(Sym s, const AffineExpr& bound) {
+  constraints_[sym_index(s)].lower.push_back(bound);
+}
+
+void ShapeDomain::add_upper(Sym s, const AffineExpr& bound) {
+  constraints_[sym_index(s)].upper.push_back(bound);
+}
+
+void ShapeDomain::add_congruence(Sym s, std::int64_t modulus,
+                                 std::int64_t residue) {
+  if (modulus <= 1) return;
+  SymConstraint& sc = constraints_[sym_index(s)];
+  residue = pos_mod(residue, modulus);
+  if (sc.modulus == 1) {
+    sc.modulus = modulus;
+    sc.residue = residue;
+    return;
+  }
+  // Keep the stronger congruence when one modulus divides the other and the
+  // residues agree (then it implies the weaker one exactly); otherwise keep
+  // the existing constraint — dropping a conjunct only enlarges the domain,
+  // which is sound for proving.
+  if (modulus % sc.modulus == 0 && pos_mod(residue, sc.modulus) == sc.residue) {
+    sc.modulus = modulus;
+    sc.residue = residue;
+  }
+}
+
+bool ShapeDomain::absorb_constraint(const AffineExpr& nonneg) {
+  // Prefer isolating a tile-origin symbol (their bounds may reference shape
+  // symbols); fall back to a shape symbol with a constant remainder.
+  const Sym tile_syms[] = {Sym::row0, Sym::col0, Sym::batch_idx};
+  Sym isolated = Sym::row0;
+  int tile_mentions = 0;
+  for (const Sym s : tile_syms) {
+    if (nonneg.coeff(s) != 0) {
+      ++tile_mentions;
+      isolated = s;
+    }
+  }
+  if (tile_mentions > 1) return false;
+  if (tile_mentions == 0) {
+    int mentions = 0;
+    for (int i = 0; i < kNumSymbols; ++i) {
+      if (nonneg.coeff(static_cast<Sym>(i)) != 0) {
+        ++mentions;
+        isolated = static_cast<Sym>(i);
+      }
+    }
+    if (mentions != 1) return false;
+  }
+  const std::int64_t c = nonneg.coeff(isolated);
+  if (c != 1 && c != -1) return false;
+  if (!is_active(isolated)) return false;
+  AffineExpr rest = nonneg.substitute(isolated, AffineExpr::constant(0));
+  if (tile_mentions == 0 && !rest.is_constant()) return false;
+  if (c == 1) {
+    // isolated + rest >= 0  =>  isolated >= -rest
+    add_lower(isolated, rest * -1);
+  } else {
+    // rest - isolated >= 0  =>  isolated <= rest
+    add_upper(isolated, rest);
+  }
+  return true;
+}
+
+bool ShapeDomain::contains(const Point& point) const {
+  for (std::size_t i = 0; i < kNumSymbols; ++i) {
+    const SymConstraint& sc = constraints_[i];
+    if (!sc.active) continue;
+    const std::int64_t v = point[i];
+    for (const AffineExpr& b : sc.lower) {
+      if (v < b.eval(point)) return false;
+    }
+    for (const AffineExpr& b : sc.upper) {
+      if (v > b.eval(point)) return false;
+    }
+    if (sc.modulus > 1 && pos_mod(v - sc.residue, sc.modulus) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool prove_nonneg(const AffineExpr& expr, const ShapeDomain& domain) {
+  return prove_from(expr, domain, 0);
+}
+
+}  // namespace aks::check::symbolic

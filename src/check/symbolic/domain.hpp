@@ -1,0 +1,81 @@
+// Interval + congruence shape domain and its inequality prover.
+//
+// A `ShapeDomain` constrains each symbol with a conjunction of affine lower
+// and upper bounds (the interval part, bounds may reference symbols that
+// are eliminated later) plus one congruence `s ≡ r (mod m)` (the congruence
+// part — tile origins are pitch-aligned, and preconditions like
+// `K ≡ 0 (mod acc_size)` live here too).
+//
+// `prove_nonneg` decides `e ≥ 0 for all points of the domain` by bound
+// substitution along the fixed elimination order of `Sym`: a symbol with a
+// positive coefficient is replaced by one of its lower bounds, a negative
+// coefficient by one of its upper bounds (congruence-aligned when the bound
+// is constant), recursing until the expression is constant. Substituting
+// any valid bound is sound, so the prover branches over the bound lists and
+// succeeds if any branch reaches a non-negative constant.
+//
+// The procedure is *sound but not complete*: a `false` answer means
+// "unproved", not "violated". The verifier treats unproved obligations as
+// candidates for concrete witness search (verifier.hpp), never as verdicts
+// — exactly the SAFE / UNSAFE / UNKNOWN escalation contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "check/symbolic/affine.hpp"
+
+namespace aks::check::symbolic {
+
+/// Constraints attached to one symbol.
+struct SymConstraint {
+  bool active = false;
+  /// `s >= b` for every b. Bounds may reference later-eliminated symbols.
+  std::vector<AffineExpr> lower;
+  /// `s <= b` for every b; empty means unbounded above.
+  std::vector<AffineExpr> upper;
+  /// `s ≡ residue (mod modulus)`; modulus 1 = no congruence.
+  std::int64_t modulus = 1;
+  std::int64_t residue = 0;
+};
+
+class ShapeDomain {
+ public:
+  /// Activates `s` with bounds [lo, +inf).
+  void add_symbol(Sym s, std::int64_t lo);
+  /// Activates `s` with bounds [lo, hi].
+  void add_symbol(Sym s, std::int64_t lo, const AffineExpr& hi);
+
+  void add_lower(Sym s, const AffineExpr& bound);
+  void add_upper(Sym s, const AffineExpr& bound);
+  /// Installs `s ≡ residue (mod modulus)`; combining congruences takes the
+  /// larger modulus when one divides the other (the common case here) and
+  /// keeps the existing one otherwise — always a sound relaxation.
+  void add_congruence(Sym s, std::int64_t modulus, std::int64_t residue);
+
+  [[nodiscard]] const SymConstraint& constraint(Sym s) const {
+    return constraints_[sym_index(s)];
+  }
+  [[nodiscard]] bool is_active(Sym s) const { return constraint(s).active; }
+
+  /// Folds an affine inequality `expr >= 0` into per-symbol bounds when it
+  /// isolates exactly one tile-origin symbol with coefficient ±1 (the shape
+  /// of every region precondition the summary generators emit). Returns
+  /// false when the constraint has no such form — the caller then keeps it
+  /// for concrete evaluation only, which is a sound over-approximation.
+  bool absorb_constraint(const AffineExpr& nonneg);
+
+  /// True when `point` satisfies every active bound and congruence.
+  [[nodiscard]] bool contains(const Point& point) const;
+
+ private:
+  std::array<SymConstraint, kNumSymbols> constraints_{};
+};
+
+/// Sound one-sided decision: true means `expr >= 0` over the whole domain.
+/// Expressions mentioning inactive symbols are never proved.
+[[nodiscard]] bool prove_nonneg(const AffineExpr& expr,
+                                const ShapeDomain& domain);
+
+}  // namespace aks::check::symbolic

@@ -111,7 +111,7 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
   // --- Filter transform: U packed as [pos][c, f], pos = 4x4 transform
   // position, contiguous per pos so the multiplies run as one batched GEMM.
   const std::size_t u_plane = in_c * out_c;
-  std::vector<float> u(16 * u_plane, 0.0f);
+  std::vector<float> u(kWinogradF2Multiplies * u_plane, 0.0f);
   for (std::size_t c = 0; c < in_c; ++c) {
     for (std::size_t f = 0; f < out_c; ++f) {
       float g[3][3];
@@ -128,7 +128,7 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
 
   // --- Input transform: V packed as [pos][tile, c]. -----------------------
   const std::size_t v_plane = tiles * in_c;
-  std::vector<float> v(16 * v_plane, 0.0f);
+  std::vector<float> v(kWinogradF2Multiplies * v_plane, 0.0f);
   const auto in_w = static_cast<std::size_t>(shape.in_width);
   for (int n = 0; n < shape.batch; ++n) {
     const std::size_t in_base =
@@ -163,8 +163,8 @@ void winograd_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
   // --- The sixteen multiplies M[pos] = V[pos] * U[pos], as ONE batched
   // launch over the packed planes.
   const std::size_t m_plane = tiles * out_c;
-  std::vector<float> m(16 * m_plane, 0.0f);
-  launch(queue, config, v, u, m, mm, 16);
+  std::vector<float> m(kWinogradF2Multiplies * m_plane, 0.0f);
+  launch(queue, config, v, u, m, mm, kWinogradF2Multiplies);
 
   // --- Output transform. ---------------------------------------------------
   const int oh = shape.out_height();

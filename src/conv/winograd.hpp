@@ -31,6 +31,13 @@ using BatchedGemmLaunchFn = std::function<syclrt::Event(
     std::span<const float>, std::span<float>, const gemm::GemmShape&,
     std::size_t)>;
 
+/// Batch counts of the batched GEMM launches: one multiply per position of
+/// the element-wise product, (tile+2)^2 positions for F(tile x tile, 3x3).
+/// These are the `batch` values the symbolic access verifier quantifies the
+/// batched-launch summaries over (see src/check/symbolic).
+inline constexpr std::size_t kWinogradF2Multiplies = 16;  // 4x4 positions
+inline constexpr std::size_t kWinogradF4Multiplies = 36;  // 6x6 positions
+
 /// True when the Winograd path supports the convolution (3x3, stride 1).
 [[nodiscard]] bool winograd_applicable(const ConvShape& shape);
 

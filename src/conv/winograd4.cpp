@@ -125,7 +125,7 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
 
   // Filter transform: U = G g G^T, packed [pos][c, f], pos in 0..35.
   const std::size_t u_plane = in_c * out_c;
-  std::vector<float> u(36 * u_plane, 0.0f);
+  std::vector<float> u(kWinogradF4Multiplies * u_plane, 0.0f);
   for (std::size_t c = 0; c < in_c; ++c) {
     for (std::size_t f = 0; f < out_c; ++f) {
       float g[3][3];
@@ -144,7 +144,7 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
 
   // Input transform: V = B^T d B, packed [pos][tile, c].
   const std::size_t v_plane = tiles * in_c;
-  std::vector<float> v(36 * v_plane, 0.0f);
+  std::vector<float> v(kWinogradF4Multiplies * v_plane, 0.0f);
   const auto in_w = zu(shape.in_width);
   for (int n = 0; n < shape.batch; ++n) {
     const std::size_t in_base =
@@ -181,8 +181,8 @@ void winograd4_conv2d(syclrt::Queue& queue, const gemm::KernelConfig& config,
 
   // The 36 multiplies as one batched launch.
   const std::size_t m_plane = tiles * out_c;
-  std::vector<float> m(36 * m_plane, 0.0f);
-  launch(queue, config, v, u, m, mm, 36);
+  std::vector<float> m(kWinogradF4Multiplies * m_plane, 0.0f);
+  launch(queue, config, v, u, m, mm, kWinogradF4Multiplies);
 
   // Output transform: Y = A^T m A (4x4 per tile), scattered with guards.
   const int oh = shape.out_height();

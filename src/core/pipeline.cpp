@@ -92,7 +92,11 @@ PipelineResult run_pipeline(const data::PerfDataset& dataset,
   const auto split = dataset.split(options.train_fraction, options.split_seed);
 
   PipelineResult result;
-  const auto pruner = make_pruner(options.prune_method, options.model_seed);
+  auto pruner = make_pruner(options.prune_method, options.model_seed);
+  if (!options.certified_mask.empty()) {
+    pruner = std::make_unique<CertifiedPruner>(std::move(pruner),
+                                               options.certified_mask);
+  }
   result.configs = pruner->prune(split.train, options.num_configs);
   result.ceiling = pruning_ceiling(split.test, result.configs);
   result.compiled_kernels =

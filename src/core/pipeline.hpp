@@ -59,6 +59,12 @@ struct PipelineOptions {
   std::uint64_t model_seed = 0;
   bool scale_features = false;
   FeatureMap feature_map = FeatureMap::kRaw;
+  /// Per-config safety certificates (index = canonical config index, true =
+  /// statically certified SAFE; typically
+  /// `check::symbolic::CertifyReport::safe_mask()`). When non-empty the
+  /// pruner is wrapped in a CertifiedPruner so uncertified configurations
+  /// never enter the shipped set.
+  std::vector<bool> certified_mask;
 };
 
 struct PipelineResult {

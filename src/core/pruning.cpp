@@ -51,6 +51,36 @@ std::vector<std::size_t> argmax_configs(
   return out;
 }
 
+/// Shared body of the mask-filtering decorators: runs `inner`, drops
+/// configurations the mask rejects, and re-pads from the mask-restricted
+/// ranking. The budget caps at how many configurations survive the mask.
+std::vector<std::size_t> prune_with_mask(const ConfigPruner& inner,
+                                         const std::vector<bool>& mask,
+                                         const data::PerfDataset& train,
+                                         std::size_t max_configs) {
+  AKS_CHECK(mask.size() == train.num_configs(),
+            "config mask covers " << mask.size() << " configs, dataset has "
+                                  << train.num_configs());
+  const auto allowed = [&mask](std::size_t c) { return mask[c]; };
+
+  std::vector<std::size_t> chosen;
+  for (const std::size_t c : inner.prune(train, max_configs)) {
+    if (allowed(c)) chosen.push_back(c);
+  }
+  const std::size_t num_allowed = static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), true));
+  const std::size_t budget =
+      std::min({max_configs, train.num_configs(), num_allowed});
+  if (chosen.size() < budget) {
+    std::set<std::size_t> seen(chosen.begin(), chosen.end());
+    for (const std::size_t c : rank_by_optimal_count(train)) {
+      if (chosen.size() == budget) break;
+      if (allowed(c) && seen.insert(c).second) chosen.push_back(c);
+    }
+  }
+  return finalize_selection(std::move(chosen), train, budget);
+}
+
 }  // namespace
 
 std::vector<std::size_t> rank_by_optimal_count(const data::PerfDataset& train) {
@@ -179,31 +209,24 @@ std::string ValidityFilteredPruner::name() const {
 
 std::vector<std::size_t> ValidityFilteredPruner::prune(
     const data::PerfDataset& train, std::size_t max_configs) const {
-  AKS_CHECK(valid_.size() == train.num_configs(),
-            "validity mask covers " << valid_.size() << " configs, dataset has "
-                                    << train.num_configs());
-  const auto is_valid = [this](std::size_t c) { return valid_[c]; };
+  return prune_with_mask(*inner_, valid_, train, max_configs);
+}
 
-  std::vector<std::size_t> chosen;
-  for (const std::size_t c : inner_->prune(train, max_configs)) {
-    if (is_valid(c)) chosen.push_back(c);
-  }
-  // Re-pad from the ranking restricted to valid configurations; the budget
-  // caps at how many survive the lint.
-  std::size_t num_valid = 0;
-  for (std::size_t c = 0; c < valid_.size(); ++c) {
-    if (valid_[c]) ++num_valid;
-  }
-  const std::size_t budget =
-      std::min({max_configs, train.num_configs(), num_valid});
-  if (chosen.size() < budget) {
-    std::set<std::size_t> seen(chosen.begin(), chosen.end());
-    for (const std::size_t c : rank_by_optimal_count(train)) {
-      if (chosen.size() == budget) break;
-      if (is_valid(c) && seen.insert(c).second) chosen.push_back(c);
-    }
-  }
-  return finalize_selection(std::move(chosen), train, budget);
+CertifiedPruner::CertifiedPruner(std::unique_ptr<ConfigPruner> inner,
+                                 std::vector<bool> safe)
+    : inner_(std::move(inner)), safe_(std::move(safe)) {
+  AKS_CHECK(inner_ != nullptr, "CertifiedPruner needs an inner pruner");
+  AKS_CHECK(std::find(safe_.begin(), safe_.end(), true) != safe_.end(),
+            "safety mask rejects every configuration");
+}
+
+std::string CertifiedPruner::name() const {
+  return inner_->name() + "+Certified";
+}
+
+std::vector<std::size_t> CertifiedPruner::prune(
+    const data::PerfDataset& train, std::size_t max_configs) const {
+  return prune_with_mask(*inner_, safe_, train, max_configs);
 }
 
 std::vector<std::size_t> drop_quarantined(

@@ -131,6 +131,28 @@ class ValidityFilteredPruner final : public ConfigPruner {
   std::vector<bool> valid_;
 };
 
+/// Decorator that removes configurations whose symbolic safety certificate
+/// is not SAFE from another pruner's selection, re-padding from the
+/// safety-restricted top-N ranking so the budget is still met. The mask is
+/// a plain per-config bitmap (index = canonical config index, true = SAFE
+/// on the target device(s)) — typically
+/// `check::symbolic::CertifyReport::safe_mask()`, carried across the
+/// process boundary as a certificate file, keeping this layer free of a
+/// dependency on the analysis tooling. Where ValidityFilteredPruner
+/// enforces per-replay dynamic findings, this enforces the for-all-shapes
+/// static verdicts: a config without a SAFE certificate never ships.
+class CertifiedPruner final : public ConfigPruner {
+ public:
+  CertifiedPruner(std::unique_ptr<ConfigPruner> inner, std::vector<bool> safe);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<std::size_t> prune(
+      const data::PerfDataset& train, std::size_t max_configs) const override;
+
+ private:
+  std::unique_ptr<ConfigPruner> inner_;
+  std::vector<bool> safe_;
+};
+
 /// Removes quarantined canonical indices (e.g. OnlineTuner::quarantined())
 /// from a pruned candidate list, preserving order. A shipped config set must
 /// never go empty — when quarantine would drop everything, the first

@@ -192,4 +192,8 @@ DeviceSpec DeviceSpec::integrated_gpu() {
   return d;
 }
 
+std::vector<DeviceSpec> DeviceSpec::shipped() {
+  return {amd_r9_nano(), embedded_accelerator(), integrated_gpu()};
+}
+
 }  // namespace aks::perf

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 namespace aks::perf {
 
@@ -68,6 +69,10 @@ struct DeviceSpec {
 
   /// A desktop integrated GPU in the Intel Gen9 class.
   static DeviceSpec integrated_gpu();
+
+  /// The three shipped device descriptions, in the order above — the sweep
+  /// set the static analyses (config lint, symbolic certify) default to.
+  static std::vector<DeviceSpec> shipped();
 
   /// Loads a device description from a `key = value` text file (one pair
   /// per line; `#` comments). Unset keys keep the R9 Nano defaults, so a

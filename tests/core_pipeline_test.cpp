@@ -4,6 +4,7 @@
 // and EXPERIMENTS.md).
 #include <gtest/gtest.h>
 
+#include "check/symbolic/certificate.hpp"
 #include "common/error.hpp"
 #include "core/codegen.hpp"
 #include "core/pipeline.hpp"
@@ -142,6 +143,37 @@ TEST_F(PipelineTest, ScaleFeaturesFlagPropagates) {
   options.scale_features = true;
   const auto result = run_pipeline(dataset(), options);
   EXPECT_TRUE(result.selector->scales_features());
+}
+
+TEST_F(PipelineTest, CertifiedMaskGatesShippedConfigs) {
+  PipelineOptions options;
+  options.num_configs = 6;
+  const auto baseline = run_pipeline(dataset(), options);
+  // Revoke the certificate of every config the ungated run shipped: none of
+  // them may appear again, and the budget is still met from certified ones.
+  std::vector<bool> mask(dataset().num_configs(), true);
+  for (const auto c : baseline.configs) mask[c] = false;
+  options.certified_mask = mask;
+  const auto gated = run_pipeline(dataset(), options);
+  EXPECT_EQ(gated.configs.size(), 6u);
+  for (const auto c : gated.configs) {
+    EXPECT_TRUE(mask[c]) << "uncertified config " << c << " shipped";
+  }
+}
+
+TEST_F(PipelineTest, SymbolicCertificatesAdmitTheFullSpaceEndToEnd) {
+  // The real certificate chain: certify_space -> safe_mask -> pipeline.
+  // Every shipped configuration proves SAFE, so gating on the certificates
+  // must reproduce the ungated selection exactly.
+  const auto report = check::symbolic::certify_space(
+      gemm::enumerate_configs(), perf::DeviceSpec::shipped());
+  ASSERT_TRUE(report.all_safe());
+  PipelineOptions options;
+  options.num_configs = 8;
+  const auto baseline = run_pipeline(dataset(), options);
+  options.certified_mask = report.safe_mask(dataset().num_configs());
+  const auto gated = run_pipeline(dataset(), options);
+  EXPECT_EQ(gated.configs, baseline.configs);
 }
 
 TEST_F(PipelineTest, RejectsDegenerateBudget) {

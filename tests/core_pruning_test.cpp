@@ -185,5 +185,60 @@ TEST_F(PruningTest, ValidityFilterRejectsDegenerateInputs) {
   EXPECT_THROW((void)short_mask.prune(dataset(), 4), common::Error);
 }
 
+TEST_F(PruningTest, CertifiedPrunerDropsUncertifiedConfigs) {
+  TopNPruner top_n;
+  const auto unfiltered = top_n.prune(dataset(), 8);
+  std::vector<bool> safe(dataset().num_configs(), true);
+  safe[unfiltered[0]] = false;  // revoke the favourite's certificate
+
+  CertifiedPruner certified(std::make_unique<TopNPruner>(), safe);
+  EXPECT_EQ(certified.name(), "TopN+Certified");
+  const auto configs = certified.prune(dataset(), 8);
+  EXPECT_EQ(configs.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(configs.begin(), configs.end()));
+  for (const auto c : configs) {
+    EXPECT_TRUE(safe[c]) << "config " << c << " has no SAFE certificate";
+  }
+}
+
+TEST_F(PruningTest, CertifiedPrunerClampsBudgetToCertifiedConfigs) {
+  std::vector<bool> safe(dataset().num_configs(), false);
+  safe[7] = safe[200] = safe[639] = true;
+  CertifiedPruner certified(std::make_unique<TopNPruner>(), safe);
+  const auto configs = certified.prune(dataset(), 8);
+  EXPECT_EQ(configs.size(), 3u);
+  for (const auto c : configs) EXPECT_TRUE(safe[c]);
+}
+
+TEST_F(PruningTest, CertifiedPrunerRejectsDegenerateInputs) {
+  EXPECT_THROW(CertifiedPruner(nullptr, {true}), common::Error);
+  EXPECT_THROW(CertifiedPruner(std::make_unique<TopNPruner>(),
+                               std::vector<bool>(640, false)),
+               common::Error);
+  CertifiedPruner short_mask(std::make_unique<TopNPruner>(),
+                             std::vector<bool>(10, true));
+  EXPECT_THROW((void)short_mask.prune(dataset(), 4), common::Error);
+}
+
+TEST_F(PruningTest, CertifiedAndLintFiltersCompose) {
+  // The two mask decorators stack: lint validity inside, certificates
+  // outside — exactly how run_pipeline and akscheck deploy them.
+  std::vector<bool> valid(dataset().num_configs(), true);
+  std::vector<bool> safe(dataset().num_configs(), true);
+  valid[10] = false;
+  safe[20] = false;
+  CertifiedPruner pruner(
+      std::make_unique<ValidityFilteredPruner>(std::make_unique<TopNPruner>(),
+                                               valid),
+      safe);
+  EXPECT_EQ(pruner.name(), "TopN+Lint+Certified");
+  const auto configs = pruner.prune(dataset(), 12);
+  EXPECT_EQ(configs.size(), 12u);
+  for (const auto c : configs) {
+    EXPECT_TRUE(valid[c]);
+    EXPECT_TRUE(safe[c]);
+  }
+}
+
 }  // namespace
 }  // namespace aks::select

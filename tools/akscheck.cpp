@@ -9,7 +9,13 @@
 //   config lint        (--lint)      validate every configuration against
 //                                    device execution limits;
 //   conv lowerings     (--conv)      replay the im2col/Winograd lowerings
-//                                    through their production code path.
+//                                    through their production code path;
+//   certificates       (certify)     symbolic access verification of every
+//                                    configuration for ALL shapes: bounds,
+//                                    races, tails and device capacity, with
+//                                    SAFE/UNSAFE/UNKNOWN certificates and a
+//                                    --differential cross-check against the
+//                                    dynamic replay.
 //
 // With no pass flags, --registry and --lint both run. Exit status: 0 clean,
 // 1 findings, 2 usage error.
@@ -22,6 +28,8 @@
 #include "check/checked_conv.hpp"
 #include "check/checked_gemm.hpp"
 #include "check/config_lint.hpp"
+#include "check/report_json.hpp"
+#include "check/symbolic/certificate.hpp"
 #include "common/error.hpp"
 #include "gemm/config.hpp"
 #include "perfmodel/device_spec.hpp"
@@ -34,11 +42,15 @@ struct Args {
   bool registry = false;
   bool lint = false;
   bool conv = false;
+  bool certify = false;
+  bool differential = false;
   std::string devices = "all";
   std::string report;
+  std::string format = "csv";
   std::vector<gemm::GemmShape> shapes;
   std::size_t max_configs = 0;
   std::size_t conv_stride = 80;
+  std::size_t samples = 0;
   bool verbose = false;
 };
 
@@ -83,12 +95,22 @@ Args parse_args(int argc, char** argv) {
       args.lint = true;
     } else if (token == "--conv") {
       args.conv = true;
+    } else if (token == "certify" || token == "--certify") {
+      args.certify = true;
+    } else if (token == "--differential") {
+      args.differential = true;
     } else if (token == "--verbose") {
       args.verbose = true;
     } else if (token == "--devices") {
       args.devices = value();
     } else if (token == "--report") {
       args.report = value();
+    } else if (token == "--format") {
+      args.format = value();
+      AKS_CHECK(args.format == "csv" || args.format == "json",
+                "--format must be csv or json, got '" << args.format << "'");
+    } else if (token == "--samples") {
+      args.samples = parse_size(value(), "--samples");
     } else if (token == "--max-configs") {
       args.max_configs = parse_size(value(), "--max-configs");
     } else if (token == "--conv-stride") {
@@ -110,10 +132,12 @@ Args parse_args(int argc, char** argv) {
       AKS_FAIL("unknown option '" << token << "'");
     }
   }
-  if (!args.registry && !args.lint && !args.conv) {
+  if (!args.registry && !args.lint && !args.conv && !args.certify) {
     args.registry = true;
     args.lint = true;
   }
+  AKS_CHECK(!args.differential || args.certify,
+            "--differential requires the certify pass");
   return args;
 }
 
@@ -179,7 +203,11 @@ int run(const Args& args) {
       print_findings(diags, args.verbose ? diags.size() : 10);
     }
     if (!args.report.empty()) {
-      report.save_csv(args.report);
+      if (args.format == "json") {
+        check::save_json(args.report, check::to_json(report));
+      } else {
+        report.save_csv(args.report);
+      }
       std::cout << "[lint] report written to " << args.report << "\n";
     }
     total_findings += report.findings.size();
@@ -205,6 +233,52 @@ int run(const Args& args) {
     total_findings += summary.findings.size() + summary.dropped_findings;
   }
 
+  if (args.certify) {
+    namespace sym = check::symbolic;
+    const auto devices = devices_from(args.devices);
+    const auto& configs = gemm::enumerate_configs();
+    sym::CertifyOptions options;
+    options.max_configs = args.max_configs;
+    const auto report = sym::certify_space(configs, devices, options);
+    std::cout << "[certify] " << report.configs_checked << " configs x "
+              << report.devices_checked << " devices: "
+              << report.count(sym::Verdict::safe) << " SAFE, "
+              << report.count(sym::Verdict::unsafe) << " UNSAFE, "
+              << report.count(sym::Verdict::unknown) << " UNKNOWN\n";
+    std::size_t shown = 0;
+    const std::size_t limit = args.verbose ? report.certificates.size() : 10;
+    for (const auto& cert : report.certificates) {
+      if (cert.verdict == sym::Verdict::safe) continue;
+      if (shown++ == limit) break;
+      std::cout << "  " << sym::to_string(cert.verdict) << " " << cert.config
+                << " on " << cert.device << " [" << cert.rule << "] "
+                << cert.message << "\n";
+    }
+    if (!args.report.empty()) {
+      if (args.format == "json") {
+        check::save_json(args.report, check::to_json(report));
+      } else {
+        report.save_csv(args.report);
+      }
+      std::cout << "[certify] report written to " << args.report << "\n";
+    }
+    total_findings += report.certificates.size() -
+                      report.count(sym::Verdict::safe);
+
+    if (args.differential) {
+      const auto diff =
+          sym::differential_check(report, configs, devices, args.samples);
+      std::cout << "[certify] differential: " << diff.configs_sampled
+                << " configs sampled, " << diff.replays << " replays, "
+                << diff.mismatches.size() << " mismatch(es)\n";
+      for (const auto& mismatch : diff.mismatches) {
+        std::cout << "  MISMATCH " << mismatch.config << " on "
+                  << mismatch.device << ": " << mismatch.detail << "\n";
+      }
+      total_findings += diff.mismatches.size();
+    }
+  }
+
   if (args.conv) {
     const auto summary = check::check_conv_lowerings(args.conv_stride);
     std::cout << "[conv] " << summary.configs_checked << " configs, "
@@ -228,17 +302,23 @@ int run(const Args& args) {
 
 void print_usage() {
   std::cerr <<
-      "usage: akscheck [passes] [options]\n"
+      "usage: akscheck [certify] [passes] [options]\n"
       "passes (default: --registry --lint):\n"
       "  --registry          checked replay of the GEMM kernel zoo\n"
       "  --lint              config validity vs device execution limits\n"
       "  --conv              checked replay of the conv lowerings\n"
+      "  certify             symbolic SAFE/UNSAFE/UNKNOWN certificates for\n"
+      "                      every configuration, over all shapes\n"
       "options:\n"
-      "  --devices all|r9nano,embedded,igpu   lint targets (default all)\n"
+      "  --devices all|r9nano,embedded,igpu   lint/certify targets\n"
       "  --shapes MxKxN,...  registry shape corpus (default built-in)\n"
-      "  --max-configs N     registry: only the first N configs (0 = all)\n"
+      "  --max-configs N     registry/certify: first N configs (0 = all)\n"
       "  --conv-stride N     conv: every Nth config (default 80)\n"
-      "  --report <csv>      write the lint report\n"
+      "  --differential      certify: cross-check certificates against\n"
+      "                      sampled dynamic replays\n"
+      "  --samples N         differential: configs to sample (0 = all)\n"
+      "  --report <path>     write the lint/certify report\n"
+      "  --format csv|json   report format (default csv)\n"
       "  --verbose           print every finding\n";
 }
 
