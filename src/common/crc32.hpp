@@ -1,0 +1,30 @@
+// Data-integrity hashes for on-disk artefacts.
+//
+// crc32() is the IEEE CRC-32 (polynomial 0xEDB88320, the zlib/PNG variant):
+// strong enough to catch the faults the persistent store defends against —
+// torn writes, truncation, random bit flips — at four bytes per record.
+// fnv1a64() is the 64-bit FNV-1a string hash used for stable content
+// digests (device fingerprints, certificate digests) that must agree across
+// processes and platforms; unlike std::hash it is pinned by this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aks::common {
+
+/// CRC-32 (IEEE) of `size` bytes starting at `data`. `seed` chains partial
+/// computations: crc32(b, crc32(a)) == crc32(a + b).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+/// 64-bit FNV-1a over the bytes of `text`. Stable across runs, platforms
+/// and compilers (unlike std::hash), so safe to persist.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+/// FNV-1a continuation over raw bytes for composite digests.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size,
+                                    std::uint64_t seed);
+
+}  // namespace aks::common

@@ -147,6 +147,22 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
   return gemm::enumerate_configs()[it->second];
 }
 
+bool OnlineTuner::preseed(const gemm::GemmShape& shape,
+                          std::size_t canonical_index) {
+  if (std::find(candidates_.begin(), candidates_.end(), canonical_index) ==
+      candidates_.end()) {
+    return false;
+  }
+  std::unique_lock lock(mutex_);
+  return cache_.emplace(shape, canonical_index).second;
+}
+
+std::vector<std::pair<gemm::GemmShape, std::size_t>> OnlineTuner::snapshot()
+    const {
+  std::shared_lock lock(mutex_);
+  return {cache_.begin(), cache_.end()};
+}
+
 gemm::KernelConfig OnlineTuner::fallback_config() const {
   return gemm::enumerate_configs()[candidates_.front()];
 }

@@ -74,6 +74,19 @@ class OnlineTuner {
   /// Never throws on trial failures — degrades to the fallback config.
   [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
 
+  /// Warm-start: adopts a previously tuned decision so select() serves it
+  /// without a trial sweep. Returns false — and stores nothing — when
+  /// `canonical_index` is not one of this tuner's candidates (a stored
+  /// decision for a config we no longer ship must re-tune, not resurrect
+  /// it) or the shape is already cached (first decision wins, matching the
+  /// select() race rule). Thread-safe.
+  bool preseed(const gemm::GemmShape& shape, std::size_t canonical_index);
+
+  /// Every cached (shape -> canonical index) decision, ordered by shape —
+  /// what a persistent store flushes back after serving. Thread-safe.
+  [[nodiscard]] std::vector<std::pair<gemm::GemmShape, std::size_t>>
+  snapshot() const;
+
   /// The configuration served when every candidate of a sweep fails (the
   /// first candidate — always a valid, runnable member of the zoo).
   [[nodiscard]] gemm::KernelConfig fallback_config() const;

@@ -14,6 +14,7 @@ const char* to_string(Site site) {
     case Site::kHostTiming: return "host-timing";
     case Site::kDatasetRow: return "dataset-row";
     case Site::kWarmUpTrial: return "warmup-trial";
+    case Site::kStoreWrite: return "store-write";
   }
   return "unknown";
 }
@@ -26,6 +27,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kTimingOutlier: return "timing-outlier";
     case FaultKind::kTimingNan: return "timing-nan";
     case FaultKind::kCorruptRow: return "corrupt-row";
+    case FaultKind::kWriteFailure: return "write-failure";
+    case FaultKind::kTornWrite: return "torn-write";
   }
   return "unknown";
 }
@@ -144,6 +147,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.at(Site::kDatasetRow).corrupt_row = parse_rate(value, key);
     } else if (key == "warmup") {
       plan.at(Site::kWarmUpTrial).launch_failure = parse_rate(value, key);
+    } else if (key == "store-write") {
+      plan.at(Site::kStoreWrite).write_failure = parse_rate(value, key);
+    } else if (key == "store-torn") {
+      plan.at(Site::kStoreWrite).torn_write = parse_rate(value, key);
     } else if (key == "outlier-min") {
       plan.outlier_min_factor = parse_rate(value, key);
     } else if (key == "outlier-max") {
@@ -177,6 +184,9 @@ std::string FaultPlan::to_string() const {
   if (row.corrupt_row > 0.0) os << ",row=" << row.corrupt_row;
   const auto& warmup = at(Site::kWarmUpTrial);
   if (warmup.launch_failure > 0.0) os << ",warmup=" << warmup.launch_failure;
+  const auto& store = at(Site::kStoreWrite);
+  if (store.write_failure > 0.0) os << ",store-write=" << store.write_failure;
+  if (store.torn_write > 0.0) os << ",store-torn=" << store.torn_write;
   return os.str();
 }
 

@@ -21,6 +21,11 @@
 //   corrupt row    — a dataset record is damaged in flight (truncated CSV
 //                    write, bit-flipped cache line); the row's cells turn
 //                    non-finite.
+//   write failure  — a store append fails outright (disk full, EIO); the
+//                    journal write raises an error and no bytes land;
+//   torn write     — the process dies mid-append (power loss, SIGKILL);
+//                    only a prefix of the record reaches the file, which a
+//                    reload must detect and drop.
 //
 // Every decision is a pure function of (plan seed, site, caller-supplied
 // key, draw index) — see injector.hpp — so the same plan and seed yield a
@@ -43,8 +48,9 @@ enum class Site : std::uint32_t {
   kHostTiming = 1,    ///< one timing sample in dataset/benchmark_runner.
   kDatasetRow = 2,    ///< one assembled dataset row (CSV record).
   kWarmUpTrial = 3,   ///< one online-tuner candidate trial.
+  kStoreWrite = 4,    ///< one selection-store journal record append.
 };
-inline constexpr std::size_t kNumSites = 4;
+inline constexpr std::size_t kNumSites = 5;
 
 [[nodiscard]] const char* to_string(Site site);
 
@@ -55,13 +61,17 @@ enum class FaultKind : std::uint32_t {
   kTimingOutlier,
   kTimingNan,
   kCorruptRow,
+  kWriteFailure,
+  kTornWrite,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
 /// One injected fault. `magnitude` is the outlier multiplier for
-/// kTimingOutlier (may be < 1: an impossibly fast sample) and the simulated
-/// hang duration in seconds for kHang; 1.0 otherwise.
+/// kTimingOutlier (may be < 1: an impossibly fast sample), the simulated
+/// hang duration in seconds for kHang, and the fraction of the record that
+/// lands on disk before the simulated crash for kTornWrite (in [0, 1));
+/// 1.0 otherwise.
 struct Fault {
   FaultKind kind = FaultKind::kNone;
   double magnitude = 1.0;
@@ -78,9 +88,12 @@ struct SiteRates {
   double timing_outlier = 0.0;
   double timing_nan = 0.0;
   double corrupt_row = 0.0;
+  double write_failure = 0.0;
+  double torn_write = 0.0;
 
   [[nodiscard]] double total() const {
-    return launch_failure + hang + timing_outlier + timing_nan + corrupt_row;
+    return launch_failure + hang + timing_outlier + timing_nan + corrupt_row +
+           write_failure + torn_write;
   }
 };
 
@@ -123,9 +136,10 @@ struct FaultPlan {
   /// Parses a plan spec:
   ///   "none" | "timing-noise-heavy" | "launch-failure-heavy" | "mixed",
   ///   optionally "@<rate>" (e.g. "mixed@0.3"), or a comma-separated
-  ///   key=value list: seed, launch, hang, outlier, nan, row, warmup
-  ///   (probabilities at the natural site of each kind), outlier-min,
-  ///   outlier-max, hang-ms. Throws common::Error on malformed input.
+  ///   key=value list: seed, launch, hang, outlier, nan, row, warmup,
+  ///   store-write, store-torn (probabilities at the natural site of each
+  ///   kind), outlier-min, outlier-max, hang-ms. Throws common::Error on
+  ///   malformed input.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
   /// Canonical key=value form (plans expressible in the key grammar

@@ -137,8 +137,15 @@ Fault probe(Site site) {
     fault.magnitude = factor;
   } else if (u < (edge += rates.timing_nan)) {
     fault.kind = FaultKind::kTimingNan;
-  } else if (u < edge + rates.corrupt_row) {
+  } else if (u < (edge += rates.corrupt_row)) {
     fault.kind = FaultKind::kCorruptRow;
+  } else if (u < (edge += rates.write_failure)) {
+    fault.kind = FaultKind::kWriteFailure;
+  } else if (u < edge + rates.torn_write) {
+    fault.kind = FaultKind::kTornWrite;
+    // Fraction of the record that reaches the file before the simulated
+    // crash, from an independent sub-stream; always a strict prefix.
+    fault.magnitude = to_unit(splitmix64(h));
   }
   if (fault) g_injected.fetch_add(1, std::memory_order_relaxed);
   return fault;

@@ -41,6 +41,20 @@ struct GemmShape {
 /// Hash support so shapes can key unordered containers (the serving layer's
 /// sharded cache). SplitMix64-style mixing keeps nearby layer shapes —
 /// which differ in one dimension by a small factor — well distributed.
+///
+/// Mixing scheme: each dimension is folded into the running state with a
+/// boost::hash_combine-style step (golden-ratio additive constant plus
+/// `h << 6` / `h >> 2` feedback, so equal inputs in different positions
+/// land differently — (m,k,n) permutations collide only by chance), then
+/// diffused with a SplitMix64 finalizer round (odd multiplicative constant
+/// + xor-shift) so every input bit reaches the LOW output bits. The low
+/// bits matter: serve::SelectionService picks shards as
+/// `hash & (num_shards - 1)`, and real corpora are highly structured
+/// (powers of two, small multiples of 8). The seed is pi's fraction —
+/// a nothing-up-my-sleeve non-zero start.
+/// tests/gemm_shape_hash_test.cpp holds the chi-squared distribution gate
+/// over the benchmark corpus; change the scheme and those thresholds must
+/// still pass.
 template <>
 struct std::hash<aks::gemm::GemmShape> {
   [[nodiscard]] std::size_t operator()(

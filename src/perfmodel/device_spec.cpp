@@ -1,9 +1,11 @@
 #include "perfmodel/device_spec.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <map>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -194,6 +196,49 @@ DeviceSpec DeviceSpec::integrated_gpu() {
 
 std::vector<DeviceSpec> DeviceSpec::shipped() {
   return {amd_r9_nano(), embedded_accelerator(), integrated_gpu()};
+}
+
+std::array<double, DeviceSpec::kNumSimilarityFeatures>
+DeviceSpec::similarity_features() const {
+  // log2 scaling keeps every axis in comparable units (one doubling = one
+  // unit) regardless of whether the raw quantity is 4 lanes or 512 GB/s.
+  const auto log2_of = [](double v) { return std::log2(std::max(v, 1e-12)); };
+  return {
+      log2_of(static_cast<double>(num_cus)),
+      log2_of(static_cast<double>(simd_width)),
+      log2_of(clock_ghz),
+      log2_of(dram_bw_gbps),
+      log2_of(static_cast<double>(registers_per_lane)),
+      log2_of(static_cast<double>(llc_bytes)),
+      log2_of(static_cast<double>(local_memory_bytes)),
+      log2_of(static_cast<double>(max_waves_per_cu)),
+  };
+}
+
+std::uint64_t DeviceSpec::fingerprint() const {
+  // Digest the canonical key=value serialization (the same field table
+  // from_file/save use), so the fingerprint covers every field exactly once
+  // and cannot drift from the file format.
+  std::uint64_t h = common::fnv1a64("aks-device-v1");
+  for (const auto& [key, field] : fields()) {
+    const std::string value = field.get(*this);
+    h = common::fnv1a64(key.data(), key.size(), h);
+    h = common::fnv1a64("=", 1, h);
+    h = common::fnv1a64(value.data(), value.size(), h);
+    h = common::fnv1a64("\n", 1, h);
+  }
+  return h;
+}
+
+double device_similarity(const DeviceSpec& a, const DeviceSpec& b) {
+  const auto fa = a.similarity_features();
+  const auto fb = b.similarity_features();
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = fa[i] - fb[i];
+    d2 += d * d;
+  }
+  return 1.0 / (1.0 + std::sqrt(d2));
 }
 
 }  // namespace aks::perf

@@ -8,7 +8,9 @@
 // accelerators".
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -59,6 +61,23 @@ struct DeviceSpec {
     return static_cast<double>(num_cus) * simd_width * 2.0 * clock_ghz * 1e9;
   }
 
+  /// Number of architectural features in similarity_features().
+  static constexpr std::size_t kNumSimilarityFeatures = 8;
+
+  /// The architectural parameters that drive kernel selection, log2-scaled
+  /// so "twice the bandwidth" is one unit apart at any absolute scale. The
+  /// persistent store's cross-device transfer ranks stored devices by
+  /// distance in this space (see device_similarity).
+  [[nodiscard]] std::array<double, kNumSimilarityFeatures>
+  similarity_features() const;
+
+  /// Stable 64-bit identity of this device description: an FNV-1a digest
+  /// of the name and every numeric field, identical across processes and
+  /// platforms. Two specs differing in any field (even one irrelevant to
+  /// performance) get distinct fingerprints — the fingerprint identifies
+  /// the *description*, similarity ranks the *behaviour*.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// The paper's benchmark platform: AMD R9 Nano (Fiji, GCN3).
   /// 64 CUs, wave64, ~1.0 GHz, 4096-bit HBM at 512 GB/s, 256 VGPRs/lane.
   static DeviceSpec amd_r9_nano();
@@ -84,5 +103,13 @@ struct DeviceSpec {
   /// Writes the spec in from_file() format (round-trips exactly).
   void save(const std::filesystem::path& path) const;
 };
+
+/// Similarity in [0, 1]: 1 for identical feature vectors, falling towards 0
+/// with the Euclidean distance between the log2-scaled feature vectors
+/// (1 / (1 + d)). Symmetric; used by the selection store to pick the
+/// nearest stored device when warm-starting on a fingerprint it has never
+/// seen (the cross-device transfer of Lawson's follow-up paper).
+[[nodiscard]] double device_similarity(const DeviceSpec& a,
+                                       const DeviceSpec& b);
 
 }  // namespace aks::perf

@@ -1,12 +1,15 @@
 #include "serve/selection_service.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/online.hpp"
 #include "core/selector.hpp"
+#include "store/selection_store.hpp"
 
 namespace aks::serve {
 
@@ -34,6 +37,9 @@ SelectionService::SelectionService(WarmUpFn warm_up, ServiceOptions options)
       duplicate_sweeps_(metrics_.counter("serve.duplicate_sweeps")),
       warmup_failures_(metrics_.counter("serve.warmup_failures")),
       fallbacks_served_(metrics_.counter("serve.fallbacks_served")),
+      preloaded_(metrics_.counter("serve.preloaded")),
+      transfer_priors_(metrics_.counter("serve.transfer_priors")),
+      provisional_refreshes_(metrics_.counter("serve.provisional_refreshes")),
       warmup_seconds_(metrics_.accumulator("serve.warmup_seconds")),
       select_latency_(metrics_.histogram("serve.select_latency")),
       warmup_latency_(metrics_.histogram("serve.warmup_latency")) {
@@ -52,7 +58,9 @@ SelectionService::SelectionService(const select::KernelSelector& selector,
           [&selector](const gemm::GemmShape& shape) {
             return selector.select_config(shape);
           },
-          options) {}
+          options) {
+  record_source_ = store::Source::kLearnedSelector;
+}
 
 SelectionService::SelectionService(select::OnlineTuner& tuner,
                                    ServiceOptions options)
@@ -60,7 +68,9 @@ SelectionService::SelectionService(select::OnlineTuner& tuner,
           [&tuner](const gemm::GemmShape& shape) {
             return tuner.select(shape);
           },
-          options) {}
+          options) {
+  tuner_ = &tuner;
+}
 
 SelectionService::Shard& SelectionService::shard_for(
     const gemm::GemmShape& shape) {
@@ -87,7 +97,14 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
     entry = slot;
   }
 
-  if (leader) return run_warm_up(shape, shard, entry);
+  if (leader) {
+    // Store-backed services consult the nearest-device prior before paying
+    // for a sweep; a hit publishes the entry (provisionally) sweep-free.
+    if (store_ != nullptr && try_transfer_prior(shape, entry)) {
+      return entry->config;
+    }
+    return run_warm_up(shape, shard, entry);
+  }
 
   if (entry->ready.load(std::memory_order_acquire)) {
     // Hot path: published entries are immutable, no entry lock needed, and
@@ -103,6 +120,133 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
   if (entry->error) std::rethrow_exception(entry->error);
   if (entry->fallback) fallbacks_served_.add();
   return entry->config;
+}
+
+std::size_t SelectionService::warm_start(store::SelectionStore& store,
+                                         const perf::DeviceSpec& device) {
+  store_ = &store;
+  device_ = device;
+  device_fingerprint_ = device.fingerprint();
+  // Record our own profile so entries flushed from this run are
+  // transferable to *other* devices later.
+  store.put_device(device);
+
+  const auto& configs = gemm::enumerate_configs();
+  std::size_t seeded = 0;
+  for (const store::SelectionRecord& record : store.selections()) {
+    if (record.device_fingerprint != device_fingerprint_) continue;
+    Shard& shard = shard_for(record.shape);
+    std::lock_guard lock(shard.m);
+    auto& slot = shard.map[record.shape];
+    if (slot) continue;  // already cached (warm_start called twice)
+    slot = std::make_shared<Entry>();
+    slot->config = configs[record.config_index];
+    // A transferred record was never measured here: serve it, but leave it
+    // provisional so refresh_provisional() still re-tunes it locally.
+    slot->provisional = record.source == store::Source::kTransfer;
+    slot->ready.store(true, std::memory_order_release);
+    if (!slot->provisional && tuner_ != nullptr) {
+      (void)tuner_->preseed(record.shape, record.config_index);
+    }
+    preloaded_.add();
+    ++seeded;
+  }
+  return seeded;
+}
+
+bool SelectionService::try_transfer_prior(
+    const gemm::GemmShape& shape, const std::shared_ptr<Entry>& entry) {
+  const auto prior = store_->lookup_transfer(*device_, shape);
+  if (!prior.has_value()) return false;
+
+  const gemm::KernelConfig config =
+      gemm::enumerate_configs()[prior->record.config_index];
+  {
+    std::lock_guard lock(entry->m);
+    entry->config = config;
+    entry->provisional = true;
+    entry->ready.store(true, std::memory_order_release);
+  }
+  entry->cv.notify_all();
+  transfer_priors_.add();
+
+  // Persist the adoption under *our* fingerprint, tagged kTransfer so a
+  // later warm_start still knows it is due a local re-tune.
+  store::SelectionRecord record = prior->record;
+  record.device_fingerprint = device_fingerprint_;
+  record.source = store::Source::kTransfer;
+  record.sweeps = 0;
+  (void)store_->put(std::move(record));
+  return true;
+}
+
+void SelectionService::record_to_store(const gemm::GemmShape& shape,
+                                       const gemm::KernelConfig& config,
+                                       double seconds) {
+  store::SelectionRecord record;
+  record.device_fingerprint = device_fingerprint_;
+  record.shape = shape;
+  try {
+    record.config_index =
+        static_cast<std::uint32_t>(gemm::config_index(config));
+  } catch (const common::Error&) {
+    return;  // non-canonical config (custom warm-up fn): nothing to persist
+  }
+  record.warmup_seconds = seconds;
+  record.sweeps = 1;
+  if (tuner_ != nullptr) {
+    record.quarantined_candidates =
+        static_cast<std::uint32_t>(tuner_->quarantined().size());
+  }
+  record.source = record_source_;
+  (void)store_->put(std::move(record));
+}
+
+std::vector<gemm::GemmShape> SelectionService::provisional_shapes() const {
+  std::vector<gemm::GemmShape> shapes;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->m);
+    for (const auto& [shape, entry] : shard->map) {
+      if (entry->ready.load(std::memory_order_acquire) && entry->provisional) {
+        shapes.push_back(shape);
+      }
+    }
+  }
+  std::sort(shapes.begin(), shapes.end());
+  return shapes;
+}
+
+std::size_t SelectionService::refresh_provisional() {
+  std::size_t refreshed = 0;
+  for (const gemm::GemmShape& shape : provisional_shapes()) {
+    gemm::KernelConfig config{};
+    common::Timer timer;
+    try {
+      config = warm_up_(shape);
+    } catch (...) {
+      warmup_failures_.add();
+      continue;  // the prior stays in place; a later refresh retries
+    }
+    const double seconds = timer.elapsed_seconds();
+    warmup_latency_.record_seconds(seconds);
+    warmup_seconds_.add(seconds);
+
+    // Published entries are immutable, so the refreshed answer goes in as
+    // a *new* ready entry swapped under the shard lock; in-flight readers
+    // of the old entry still see the coherent prior.
+    auto fresh = std::make_shared<Entry>();
+    fresh->config = config;
+    fresh->ready.store(true, std::memory_order_release);
+    Shard& shard = shard_for(shape);
+    {
+      std::lock_guard lock(shard.m);
+      shard.map[shape] = std::move(fresh);
+    }
+    provisional_refreshes_.add();
+    ++refreshed;
+    if (store_ != nullptr) record_to_store(shape, config, seconds);
+  }
+  return refreshed;
 }
 
 gemm::KernelConfig SelectionService::run_warm_up(
@@ -156,7 +300,15 @@ gemm::KernelConfig SelectionService::run_warm_up(
     if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
   }
   if (error) std::rethrow_exception(error);
-  if (degraded) fallbacks_served_.add();
+  if (degraded) {
+    // A fallback served over a failed warm-up is not a tuned decision —
+    // never persisted, so a warm start cannot resurrect it.
+    fallbacks_served_.add();
+    return config;
+  }
+  // Write-behind: a successfully tuned answer becomes a store record (in
+  // memory only — flushing is the owner's call, off the serving path).
+  if (store_ != nullptr) record_to_store(shape, config, seconds);
   return config;
 }
 
@@ -166,9 +318,11 @@ void SelectionService::sync_hits() const {
   for (const auto& shard : shards_) {
     total += shard->hits.load(std::memory_order_relaxed);
   }
-  // Shard stripes only grow and hits_ is only advanced here (under the
-  // sync mutex), so the delta is non-negative and never double-counted.
-  hits_.add(total - hits_.value());
+  // Shard stripes only grow and synced_hits_ (the total already folded in)
+  // only advances here under the sync mutex, so the delta is non-negative
+  // and never double-counted — independent of what else hits_ reports.
+  hits_.add(total - synced_hits_);
+  synced_hits_ = total;
 }
 
 const common::MetricsRegistry& SelectionService::metrics() const {
@@ -185,6 +339,9 @@ ServiceStats SelectionService::stats() const {
   stats.duplicate_sweeps = duplicate_sweeps_.value();
   stats.warmup_failures = warmup_failures_.value();
   stats.fallbacks_served = fallbacks_served_.value();
+  stats.preloaded = preloaded_.value();
+  stats.transfer_priors = transfer_priors_.value();
+  stats.provisional_refreshes = provisional_refreshes_.value();
   stats.warmup_seconds = warmup_seconds_.value();
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->m);

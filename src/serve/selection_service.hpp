@@ -22,7 +22,16 @@
 //    (CSV-exportable; see bench/selection_service_throughput and
 //    `aks_tune serve`). Counters are exact; the select() latency histogram
 //    is sampled 1-in-32 per thread so the cache-hit path stays free of
-//    shared-cache-line histogram traffic.
+//    shared-cache-line histogram traffic;
+//
+//  * persistence (optional) — warm_start() pre-seeds the cache from a
+//    store::SelectionStore so stored shapes are served with zero warm-up
+//    sweeps, newly tuned shapes are written behind into the store (the
+//    caller flushes), and shapes only known from a *different* device are
+//    served as cross-device transfer priors: published immediately (marked
+//    provisional), then re-tuned by refresh_provisional() which atomically
+//    swaps in the locally measured answer. See DESIGN.md "Persistence &
+//    warm-start".
 #pragma once
 
 #include <atomic>
@@ -39,11 +48,17 @@
 #include "common/metrics.hpp"
 #include "gemm/config.hpp"
 #include "gemm/shape.hpp"
+#include "perfmodel/device_spec.hpp"
 
 namespace aks::select {
 class KernelSelector;
 class OnlineTuner;
 }  // namespace aks::select
+
+namespace aks::store {
+class SelectionStore;
+enum class Source : std::uint8_t;
+}  // namespace aks::store
 
 namespace aks::serve {
 
@@ -74,6 +89,13 @@ struct ServiceStats {
   /// Requests (leader + waiters) answered with the fallback configuration
   /// after a failed warm-up; 0 unless ServiceOptions::fallback is set.
   std::uint64_t fallbacks_served = 0;
+  /// Shapes pre-seeded from a persistent store by warm_start().
+  std::uint64_t preloaded = 0;
+  /// Cold shapes answered from a nearest-device store record instead of a
+  /// warm-up sweep (cross-device transfer).
+  std::uint64_t transfer_priors = 0;
+  /// Provisional (transferred) answers replaced by a locally tuned one.
+  std::uint64_t provisional_refreshes = 0;
   /// Wall seconds spent inside the warm-up function.
   double warmup_seconds = 0.0;
   /// Shapes currently cached (including in-flight entries).
@@ -103,6 +125,32 @@ class SelectionService {
   /// Thread-safe: the kernel configuration to use for `shape`.
   [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
 
+  /// Attaches a persistent store (must outlive the service) and pre-seeds
+  /// the cache with every stored selection for `device`'s fingerprint —
+  /// those shapes are then served with zero warm-up sweeps. Stored
+  /// transfer-sourced records pre-seed as *provisional* (still due a local
+  /// re-tune); tuner-sourced records also pre-seed the wrapped OnlineTuner
+  /// so its own cache never re-sweeps them. Shapes absent for this device
+  /// but present for another one are afterwards served via nearest-device
+  /// transfer priors on their first request. Newly warmed shapes are
+  /// written behind into the store; persisting them is the caller's
+  /// flush()/compact() call, never the serving hot path. Records the
+  /// device profile in the store. Returns the number of pre-seeded shapes.
+  /// Call before serving traffic (not thread-safe against select()).
+  std::size_t warm_start(store::SelectionStore& store,
+                         const perf::DeviceSpec& device);
+
+  /// Shapes currently served from a provisional (transferred) answer.
+  [[nodiscard]] std::vector<gemm::GemmShape> provisional_shapes() const;
+
+  /// Re-tunes every provisional shape through the warm-up function and
+  /// atomically swaps the locally measured answer (and its store record)
+  /// in place of the transferred prior. Concurrent select() calls keep
+  /// being answered throughout — first by the prior, then by the refreshed
+  /// entry. A warm-up failure leaves that shape's prior in place (counted
+  /// in warmup_failures). Returns the number of shapes refreshed.
+  std::size_t refresh_provisional();
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
@@ -122,6 +170,10 @@ class SelectionService {
     /// True when `config` is the service-level fallback published after a
     /// failed warm-up (written once under m before `ready`).
     bool fallback = false;
+    /// True when `config` is a cross-device transfer prior still awaiting
+    /// a local re-tune (written once under m before `ready`); cleared by
+    /// refresh_provisional() swapping in a fresh Entry, never in place.
+    bool provisional = false;
     /// Warm-up invocations for this shape; >1 would be a duplicate sweep.
     std::atomic<std::uint32_t> sweeps{0};
   };
@@ -139,15 +191,35 @@ class SelectionService {
   [[nodiscard]] gemm::KernelConfig run_warm_up(const gemm::GemmShape& shape,
                                                Shard& shard,
                                                const std::shared_ptr<Entry>& entry);
+  /// Leader-path store consult: true when a transfer prior was published
+  /// into `entry` (the warm-up sweep is then skipped for this request).
+  [[nodiscard]] bool try_transfer_prior(const gemm::GemmShape& shape,
+                                        const std::shared_ptr<Entry>& entry);
+  /// Write-behind: records a locally tuned decision in the attached store.
+  void record_to_store(const gemm::GemmShape& shape,
+                       const gemm::KernelConfig& config, double seconds);
   /// Folds the per-shard hit counts into the registry's serve.hits counter
   /// (serialized so concurrent observers never double-add a delta).
   void sync_hits() const;
 
   WarmUpFn warm_up_;
   std::optional<gemm::KernelConfig> fallback_;
+  /// Set by the OnlineTuner constructor so warm_start() can pre-seed the
+  /// tuner's own cache alongside the service cache.
+  select::OnlineTuner* tuner_ = nullptr;
+  /// Persistence, armed by warm_start(); null means no store attached.
+  store::SelectionStore* store_ = nullptr;
+  /// Provenance tag for write-behind records (which layer this service
+  /// wraps); set by the typed constructors, kOnlineTuner by default.
+  store::Source record_source_{};
+  std::optional<perf::DeviceSpec> device_;
+  std::uint64_t device_fingerprint_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;
   mutable std::mutex sync_mutex_;
+  /// Stripe total already folded into hits_; guarded by sync_mutex_ so the
+  /// reconciliation delta never depends on reading hits_ back.
+  mutable std::uint64_t synced_hits_ = 0;
 
   common::MetricsRegistry metrics_;
   // Resolved once so the hot path never touches the registry lock.
@@ -157,6 +229,9 @@ class SelectionService {
   common::Counter& duplicate_sweeps_;
   common::Counter& warmup_failures_;
   common::Counter& fallbacks_served_;
+  common::Counter& preloaded_;
+  common::Counter& transfer_priors_;
+  common::Counter& provisional_refreshes_;
   common::Accumulator& warmup_seconds_;
   common::LatencyHistogram& select_latency_;
   common::LatencyHistogram& warmup_latency_;

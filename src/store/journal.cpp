@@ -1,0 +1,232 @@
+#include "store/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "faults/injector.hpp"
+
+namespace aks::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'K', 'S', 'S', 'T', 'O', 'R', 'E'};
+constexpr std::uint32_t kEndianMarker = 0x01020304u;
+constexpr std::size_t kHeaderBytes = 16;
+/// kind + payload length framing in front of each payload.
+constexpr std::size_t kFrameBytes = 5;
+constexpr std::size_t kCrcBytes = 4;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::vector<std::uint8_t> header_bytes() {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u32le(out, kJournalVersion);
+  put_u32le(out, kEndianMarker);
+  return out;
+}
+
+/// Framed record bytes: kind | length | payload | crc(kind+length+payload).
+std::vector<std::uint8_t> frame_record(RecordKind kind,
+                                       const std::vector<std::uint8_t>& payload) {
+  AKS_CHECK(payload.size() <= kMaxPayloadBytes,
+            "journal record payload too large: " << payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameBytes + payload.size() + kCrcBytes);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32le(out, common::crc32(out.data(), out.size()));
+  return out;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::filesystem::path& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    AKS_CHECK(n > 0, "journal " << path << ": write failed: "
+                                << std::strerror(errno));
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JournalContents read_journal(const std::filesystem::path& path, bool strict) {
+  JournalContents contents;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return contents;
+
+  std::ifstream in(path, std::ios::binary);
+  AKS_CHECK(in.is_open(), "cannot open journal " << path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  AKS_CHECK(!in.bad(), "I/O error reading journal " << path);
+
+  if (bytes.empty()) return contents;  // created but never written: empty
+  AKS_CHECK(bytes.size() >= kHeaderBytes,
+            "journal " << path << ": truncated header ("
+                       << bytes.size() << " bytes)");
+  AKS_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+            "journal " << path << ": bad magic (not an AKS selection store)");
+  const std::uint32_t version = read_u32le(bytes.data() + 8);
+  AKS_CHECK(version == kJournalVersion,
+            "journal " << path << ": unsupported version " << version);
+  AKS_CHECK(read_u32le(bytes.data() + 12) == kEndianMarker,
+            "journal " << path << ": endianness marker mismatch");
+
+  std::size_t pos = kHeaderBytes;
+  auto& stats = contents.stats;
+  stats.valid_bytes = kHeaderBytes;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    const char* why = nullptr;
+    std::size_t record_end = 0;
+    if (remaining < kFrameBytes + kCrcBytes) {
+      why = "torn record framing";
+    } else {
+      const std::uint8_t kind = bytes[pos];
+      const std::uint32_t len = read_u32le(bytes.data() + pos + 1);
+      if (len > kMaxPayloadBytes) {
+        why = "implausible record length";
+      } else if (remaining < kFrameBytes + len + kCrcBytes) {
+        why = "torn record payload";
+      } else {
+        record_end = pos + kFrameBytes + len + kCrcBytes;
+        const std::uint32_t expected =
+            read_u32le(bytes.data() + record_end - kCrcBytes);
+        const std::uint32_t actual =
+            common::crc32(bytes.data() + pos, kFrameBytes + len);
+        if (actual != expected) {
+          why = "CRC mismatch";
+        } else if (kind != static_cast<std::uint8_t>(RecordKind::kSelection) &&
+                   kind !=
+                       static_cast<std::uint8_t>(RecordKind::kDeviceProfile)) {
+          why = "unknown record kind";
+        } else {
+          RawRecord record;
+          record.kind = static_cast<RecordKind>(kind);
+          record.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                    pos + kFrameBytes),
+                                bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                    record_end - kCrcBytes));
+          contents.records.push_back(std::move(record));
+          ++stats.records;
+          pos = record_end;
+          stats.valid_bytes = pos;
+          continue;
+        }
+      }
+    }
+    // First untrustworthy byte: drop it and everything after. Records past
+    // a corrupt one would be framed by corrupt lengths — never trust them.
+    AKS_CHECK(!strict, "journal " << path << ": " << why << " at offset "
+                                  << pos << " (" << remaining
+                                  << " bytes dropped)");
+    stats.corrupt_tail_records = 1;
+    stats.bytes_dropped = remaining;
+    break;
+  }
+  return contents;
+}
+
+JournalWriter::JournalWriter(std::filesystem::path path)
+    : path_(std::move(path)),
+      path_key_(common::fnv1a64(path_.string())) {
+  // Crash recovery: find the last trustworthy byte and truncate the torn
+  // tail (if any) before appending, so new records stay readable.
+  const JournalContents existing = read_journal(path_);
+  record_index_ = existing.stats.records;
+  const bool fresh = !std::filesystem::exists(path_) ||
+                     std::filesystem::file_size(path_) == 0;
+  if (!fresh && existing.stats.bytes_dropped > 0) {
+    std::filesystem::resize_file(path_, existing.stats.valid_bytes);
+  }
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  AKS_CHECK(fd_ >= 0, "cannot open journal " << path_ << " for append: "
+                                             << std::strerror(errno));
+  if (fresh) {
+    const auto header = header_bytes();
+    write_all(fd_, header.data(), header.size(), path_);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(RecordKind kind,
+                           const std::vector<std::uint8_t>& payload) {
+  AKS_CHECK(!poisoned_,
+            "journal " << path_ << ": writer poisoned by a torn write; "
+                          "reopen the journal to recover");
+  const std::vector<std::uint8_t> framed = frame_record(kind, payload);
+
+  // Deterministic fault key: (path digest, absolute record index) — stable
+  // across reruns and independent of thread interleaving.
+  faults::FaultScope scope(
+      faults::site_bit(faults::Site::kStoreWrite),
+      faults::mix_key(path_key_, static_cast<std::uint64_t>(record_index_)));
+  if (const auto fault = faults::probe(faults::Site::kStoreWrite)) {
+    if (fault.kind == faults::FaultKind::kWriteFailure) {
+      throw common::Error("injected fault: journal write failed (no bytes "
+                          "reached " + path_.string() + ")");
+    }
+    if (fault.kind == faults::FaultKind::kTornWrite) {
+      // Simulated crash mid-append: a strict prefix lands, then the writer
+      // dies. magnitude in [0, 1) scales the prefix, so every cut point in
+      // the record (framing, payload, CRC) gets exercised across draws.
+      const auto cut = static_cast<std::size_t>(
+          fault.magnitude * static_cast<double>(framed.size()));
+      write_all(fd_, framed.data(), cut, path_);
+      poisoned_ = true;
+      throw common::Error("injected fault: torn journal write (" +
+                          std::to_string(cut) + " of " +
+                          std::to_string(framed.size()) + " bytes reached " +
+                          path_.string() + ")");
+    }
+  }
+
+  write_all(fd_, framed.data(), framed.size(), path_);
+  ++record_index_;
+  ++appended_;
+}
+
+void compact_journal(const std::filesystem::path& path,
+                     const std::vector<RawRecord>& records) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    JournalWriter writer(tmp);
+    for (const RawRecord& record : records) {
+      writer.append(record.kind, record.payload);
+    }
+  }
+  // Atomic publish: readers see either the old journal or the complete new
+  // one, never a half-written file.
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace aks::store

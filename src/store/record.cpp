@@ -1,0 +1,182 @@
+#include "store/record.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aks::store {
+
+namespace {
+
+// Little-endian byte-at-a-time codec: immune to host endianness and struct
+// layout, and every field width is spelled at the call site.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::string string() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  void expect_done() const {
+    AKS_CHECK(pos_ == data_.size(), "store record: " << data_.size() - pos_
+                                                     << " trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    AKS_CHECK(pos_ + n <= data_.size(),
+              "store record: truncated payload (need " << n << " bytes at "
+                                                       << pos_ << " of "
+                                                       << data_.size() << ")");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(Source source) {
+  switch (source) {
+    case Source::kOnlineTuner: return "online-tuner";
+    case Source::kLearnedSelector: return "learned-selector";
+    case Source::kImported: return "imported";
+    case Source::kTransfer: return "transfer";
+  }
+  return "unknown";
+}
+
+DeviceProfileRecord DeviceProfileRecord::from_spec(
+    const perf::DeviceSpec& spec) {
+  DeviceProfileRecord record;
+  record.fingerprint = spec.fingerprint();
+  record.name = spec.name;
+  record.features = spec.similarity_features();
+  return record;
+}
+
+double feature_similarity(std::span<const double> a,
+                          std::span<const double> b) {
+  AKS_CHECK(a.size() == b.size(), "feature vectors differ in length");
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return 1.0 / (1.0 + std::sqrt(d2));
+}
+
+void encode(const SelectionRecord& record, std::vector<std::uint8_t>& out) {
+  put_u64(out, record.device_fingerprint);
+  put_u64(out, record.shape.m);
+  put_u64(out, record.shape.k);
+  put_u64(out, record.shape.n);
+  put_u32(out, record.config_index);
+  put_f64(out, record.warmup_seconds);
+  put_u32(out, record.sweeps);
+  put_u32(out, record.quarantined_candidates);
+  put_u8(out, static_cast<std::uint8_t>(record.source));
+  put_u64(out, record.cert_digest);
+}
+
+void encode(const DeviceProfileRecord& record,
+            std::vector<std::uint8_t>& out) {
+  put_u64(out, record.fingerprint);
+  put_string(out, record.name);
+  put_u32(out, static_cast<std::uint32_t>(record.features.size()));
+  for (const double f : record.features) put_f64(out, f);
+}
+
+SelectionRecord decode_selection(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  SelectionRecord record;
+  record.device_fingerprint = in.u64();
+  record.shape.m = in.u64();
+  record.shape.k = in.u64();
+  record.shape.n = in.u64();
+  record.config_index = in.u32();
+  record.warmup_seconds = in.f64();
+  record.sweeps = in.u32();
+  record.quarantined_candidates = in.u32();
+  const std::uint8_t source = in.u8();
+  AKS_CHECK(source <= static_cast<std::uint8_t>(Source::kTransfer),
+            "store record: unknown selection source " << int{source});
+  record.source = static_cast<Source>(source);
+  record.cert_digest = in.u64();
+  in.expect_done();
+  return record;
+}
+
+DeviceProfileRecord decode_device_profile(
+    std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  DeviceProfileRecord record;
+  record.fingerprint = in.u64();
+  record.name = in.string();
+  const std::uint32_t count = in.u32();
+  AKS_CHECK(count == record.features.size(),
+            "store record: device profile carries " << count << " features, "
+                                                    << record.features.size()
+                                                    << " expected");
+  for (double& f : record.features) f = in.f64();
+  in.expect_done();
+  return record;
+}
+
+}  // namespace aks::store

@@ -1,0 +1,102 @@
+// Versioned binary records for the persistent selection store.
+//
+// The store persists two record kinds, both encoded little-endian with
+// fixed-width fields (no struct memcpy, so the format is identical across
+// compilers and platforms):
+//
+//   selection      — one tuned decision, keyed by (device fingerprint,
+//                    GemmShape): the winning canonical config index, the
+//                    measured warm-up cost behind it, tuner provenance
+//                    (sweeps run, quarantine state at save time, which
+//                    layer produced it) and the symbolic-certificate digest
+//                    of the config (0 when no certificate was attached);
+//
+//   device profile — the fingerprint -> (name, similarity feature vector)
+//                    mapping that lets a store opened on a *different*
+//                    device rank stored devices by architectural similarity
+//                    and serve the nearest device's selection as a warm
+//                    prior (cross-device transfer).
+//
+// Encoding/decoding throws common::Error on any structural mismatch
+// (truncated payload, trailing bytes, unknown enum value); integrity
+// against torn writes and bit flips is the journal's job (per-record CRC32,
+// see journal.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gemm/shape.hpp"
+#include "perfmodel/device_spec.hpp"
+
+namespace aks::store {
+
+/// Which layer produced a stored selection (provenance, kept on merge).
+enum class Source : std::uint8_t {
+  kOnlineTuner = 0,      ///< winner of an OnlineTuner trial sweep
+  kLearnedSelector = 1,  ///< prediction of a trained KernelSelector
+  kImported = 2,         ///< loaded through `aks_tune store import`
+  kTransfer = 3,         ///< adopted from the nearest device as a prior
+};
+
+[[nodiscard]] const char* to_string(Source source);
+
+/// One persisted tuning decision.
+struct SelectionRecord {
+  /// perf::DeviceSpec::fingerprint() of the device the decision was tuned
+  /// on.
+  std::uint64_t device_fingerprint = 0;
+  gemm::GemmShape shape;
+  /// Canonical index into gemm::enumerate_configs().
+  std::uint32_t config_index = 0;
+  /// Wall seconds the warm-up that produced this decision cost (what a
+  /// warm-started process saves by not re-sweeping).
+  double warmup_seconds = 0.0;
+  /// Trial sweeps behind the decision (provenance; >= 1 for tuner wins).
+  std::uint32_t sweeps = 0;
+  /// Candidates quarantined in the producing tuner when the decision was
+  /// saved (provenance: a high count means the decision was made under
+  /// degraded conditions).
+  std::uint32_t quarantined_candidates = 0;
+  Source source = Source::kOnlineTuner;
+  /// Digest of the config's symbolic safety certificate (common::fnv1a64
+  /// over the certificate row); 0 when none was attached. Checked against
+  /// the expected digest table on load when one is supplied.
+  std::uint64_t cert_digest = 0;
+
+  [[nodiscard]] bool operator==(const SelectionRecord&) const = default;
+};
+
+/// Persisted device identity: enough to rank stored devices by similarity
+/// without the full DeviceSpec file.
+struct DeviceProfileRecord {
+  std::uint64_t fingerprint = 0;
+  std::string name;
+  /// perf::DeviceSpec::similarity_features() at save time.
+  std::array<double, perf::DeviceSpec::kNumSimilarityFeatures> features{};
+
+  [[nodiscard]] static DeviceProfileRecord from_spec(
+      const perf::DeviceSpec& spec);
+
+  [[nodiscard]] bool operator==(const DeviceProfileRecord&) const = default;
+};
+
+/// Similarity between two persisted feature vectors — same formula as
+/// perf::device_similarity, but computable against a profile whose full
+/// DeviceSpec is not available.
+[[nodiscard]] double feature_similarity(
+    std::span<const double> a, std::span<const double> b);
+
+/// Encoders append to `out`; decoders consume the whole payload and throw
+/// common::Error on malformed input.
+void encode(const SelectionRecord& record, std::vector<std::uint8_t>& out);
+void encode(const DeviceProfileRecord& record, std::vector<std::uint8_t>& out);
+[[nodiscard]] SelectionRecord decode_selection(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] DeviceProfileRecord decode_device_profile(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace aks::store

@@ -1,0 +1,94 @@
+// std::hash<GemmShape> shard-distribution quality: the serving layer maps
+// shapes to mutex-striped shards via `hash & (shards - 1)`, so the hash's
+// *low* bits must spread the real benchmark corpus evenly — a biased hash
+// silently serializes the cache. Chi-squared goodness-of-fit against the
+// uniform distribution, thresholds at the p = 0.001 critical values, so
+// the test only fails on gross mixing regressions, not noise.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "dataset/extract.hpp"
+#include "gemm/shape.hpp"
+
+namespace aks::gemm {
+namespace {
+
+std::vector<GemmShape> corpus() {
+  std::set<GemmShape> unique;
+  for (const auto& lowered : data::extract_all_shapes()) {
+    unique.insert(lowered.shape);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+double chi_squared(const std::vector<GemmShape>& shapes,
+                   std::size_t buckets) {
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const auto& shape : shapes) {
+    // Exactly the serving layer's shard selection: low bits only.
+    ++counts[std::hash<GemmShape>{}(shape) & (buckets - 1)];
+  }
+  const double expected =
+      static_cast<double>(shapes.size()) / static_cast<double>(buckets);
+  double chi2 = 0.0;
+  for (const std::size_t count : counts) {
+    const double d = static_cast<double>(count) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+TEST(GemmShapeHash, CorpusHashesAreCollisionFree) {
+  const auto shapes = corpus();
+  ASSERT_GT(shapes.size(), 100u);  // the paper's multi-model corpus
+  std::set<std::size_t> hashes;
+  for (const auto& shape : shapes) {
+    hashes.insert(std::hash<GemmShape>{}(shape));
+  }
+  EXPECT_EQ(hashes.size(), shapes.size());
+}
+
+TEST(GemmShapeHash, CorpusSpreadsUniformlyOver16Shards) {
+  // Critical value for chi-squared, df = 15, p = 0.001.
+  EXPECT_LT(chi_squared(corpus(), 16), 37.70);
+}
+
+TEST(GemmShapeHash, CorpusSpreadsUniformlyOver64Shards) {
+  // Critical value for chi-squared, df = 63, p = 0.001.
+  EXPECT_LT(chi_squared(corpus(), 64), 103.44);
+}
+
+TEST(GemmShapeHash, StructuredShapeGridSpreadsUniformly) {
+  // Nearby layer shapes differ in one dimension by small factors (powers
+  // of two, batch-size steps); exactly the pattern a weak mixer turns into
+  // shard collisions. 24 x 16 x 16 grid of such shapes.
+  std::vector<GemmShape> grid;
+  for (std::size_t m = 1; m <= 24; ++m) {
+    for (std::size_t k = 1; k <= 16; ++k) {
+      for (std::size_t n = 1; n <= 16; ++n) {
+        grid.push_back({m * 8, k * 64, n * 128});
+      }
+    }
+  }
+  EXPECT_LT(chi_squared(grid, 64), 103.44);
+  EXPECT_LT(chi_squared(grid, 256), 330.5);  // df = 255, p = 0.001
+}
+
+TEST(GemmShapeHash, PermutedDimensionsHashDifferently) {
+  // M, K, N are mixed sequentially, not summed: transposing a shape must
+  // move it (with overwhelming probability) to a different shard.
+  const GemmShape a{128, 256, 512};
+  const GemmShape b{256, 128, 512};
+  const GemmShape c{512, 256, 128};
+  const std::hash<GemmShape> h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_NE(h(b), h(c));
+}
+
+}  // namespace
+}  // namespace aks::gemm

@@ -223,6 +223,52 @@ TEST(SelectionService, ServesOnlineTunerWithExactWarmUpAccounting) {
   EXPECT_EQ(service.stats().duplicate_sweeps, 0u);
 }
 
+// Regression test for the hit-count reconciliation: stats() folds the
+// per-shard hit stripes into serve.hits under a sync mutex, tracking the
+// already-folded total separately, so concurrent observers each see a
+// monotonic, never-double-counted value that lands exactly on the true
+// total once traffic stops.
+TEST(SelectionService, StatsConsistentUnderConcurrentReaders) {
+  auto warm = std::make_shared<CountingWarmUp>();
+  SelectionService service(
+      [warm](const gemm::GemmShape& s) { return (*warm)(s); });
+  const auto shapes = test_shapes(16);
+  for (const auto& shape : shapes) (void)service.select(shape);  // warm all
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kReaders = 3;
+  constexpr std::size_t kReps = 200;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t prev = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto stats = service.stats();
+        EXPECT_GE(stats.hits, prev);  // monotonic: no lost or doubled delta
+        EXPECT_LE(stats.hits, kClients * kReps * 16);
+        prev = stats.hits;
+      }
+    });
+  }
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        for (const auto& shape : shapes) (void)service.select(shape);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.hits, kClients * kReps * 16);
+  EXPECT_EQ(stats.misses, 16u);
+}
+
 TEST(SelectionService, MetricsExportToCsv) {
   auto warm = std::make_shared<CountingWarmUp>();
   SelectionService service(

@@ -7,6 +7,13 @@
 //   aks_tune serve   [options]                  replay the shape corpus
 //                                               through the concurrent
 //                                               serving layer, print metrics
+//                                               (--store <file> persists and
+//                                               warm-starts the decisions)
+//   aks_tune store   inspect <store>            persistent-store toolbox
+//   aks_tune store   export  <store> <out.csv>
+//   aks_tune store   import  <in.csv> <store>
+//   aks_tune store   merge   <dst> <src>...
+//   aks_tune store   compact <store>
 //   aks_tune report                             one-page tuning summary
 //
 // Common options:
@@ -21,12 +28,16 @@
 //   --emit-code          `train` prints the generated C++ selector
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "check/symbolic/certificate.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -37,6 +48,7 @@
 #include "dataset/benchmark_runner.hpp"
 #include "faults/injector.hpp"
 #include "serve/selection_service.hpp"
+#include "store/selection_store.hpp"
 
 namespace {
 
@@ -122,6 +134,231 @@ data::PerfDataset dataset_from(const Args& args) {
   std::cerr << "building dataset on " << device_from(args).name << "...\n";
   return data::run_model_benchmarks(data::extract_all_shapes(),
                                     device_from(args), {});
+}
+
+// Certificate gate for a persistent store: --certify <certify.csv> (a
+// report saved by the symbolic verifier) becomes the per-config SAFE mask
+// and expected-digest table for `device`, so uncertified or
+// stale-certificate records are rejected at load.
+store::StoreOptions store_options_from(const Args& args,
+                                       const perf::DeviceSpec& device,
+                                       bool strict = false) {
+  store::StoreOptions options;
+  options.strict = strict;
+  const auto it = args.options.find("certify");
+  if (it == args.options.end()) return options;
+  const auto report = check::symbolic::CertifyReport::load_csv(it->second);
+  const std::size_t num_configs = gemm::enumerate_configs().size();
+  options.certified_mask = report.safe_mask(num_configs, device.name);
+  options.cert_digests.assign(num_configs, 0);
+  for (const auto& cert : report.certificates) {
+    if (cert.device != device.name || cert.config_index >= num_configs) {
+      continue;
+    }
+    // Digest over the verdict-defining fields: regenerating certificates
+    // with a different outcome invalidates stored records for the config.
+    const std::string row = cert.config + "|" + cert.device + "|" +
+                            std::string(to_string(cert.verdict)) + "|" +
+                            cert.rule + "|" + cert.precondition;
+    options.cert_digests[cert.config_index] = common::fnv1a64(row);
+  }
+  std::size_t safe = 0;
+  for (const bool bit : options.certified_mask) safe += bit ? 1u : 0u;
+  std::cerr << "certificate gate: " << safe << "/" << num_configs
+            << " configs SAFE on " << device.name << "\n";
+  return options;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << fingerprint;
+  return out.str();
+}
+
+store::Source source_from_string(const std::string& name) {
+  if (name == "online-tuner") return store::Source::kOnlineTuner;
+  if (name == "learned-selector") return store::Source::kLearnedSelector;
+  if (name == "transfer") return store::Source::kTransfer;
+  // Hand-authored rows default to the import provenance tag.
+  return store::Source::kImported;
+}
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+void export_store_csv(const store::SelectionStore& store, std::ostream& out) {
+  // Self-describing rows (leading record-type column) so import can
+  // rebuild the device profiles that make selections transferable.
+  out << std::setprecision(17);
+  for (const auto& profile : store.devices()) {
+    out << "device," << fingerprint_hex(profile.fingerprint) << ","
+        << profile.name;
+    for (const double f : profile.features) out << "," << f;
+    out << "\n";
+  }
+  const auto& configs = gemm::enumerate_configs();
+  for (const auto& record : store.selections()) {
+    out << "selection," << fingerprint_hex(record.device_fingerprint) << ","
+        << record.shape.m << "," << record.shape.k << "," << record.shape.n
+        << "," << record.config_index << ","
+        << configs[record.config_index].name() << "," << record.warmup_seconds
+        << "," << record.sweeps << "," << record.quarantined_candidates << ","
+        << to_string(record.source) << ","
+        << fingerprint_hex(record.cert_digest) << "\n";
+  }
+}
+
+std::size_t import_store_csv(std::istream& in, store::SelectionStore& store) {
+  std::size_t imported = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_csv_row(line);
+    if (fields[0] == "device") {
+      AKS_CHECK(fields.size() ==
+                    3 + perf::DeviceSpec::kNumSimilarityFeatures,
+                "store csv line " << line_no << ": device row needs "
+                                  << 3 + perf::DeviceSpec::kNumSimilarityFeatures
+                                  << " fields");
+      store::DeviceProfileRecord profile;
+      profile.fingerprint = std::stoull(fields[1], nullptr, 16);
+      profile.name = fields[2];
+      for (std::size_t f = 0; f < profile.features.size(); ++f) {
+        profile.features[f] = std::stod(fields[3 + f]);
+      }
+      store.put_profile(std::move(profile));
+      ++imported;
+    } else if (fields[0] == "selection") {
+      AKS_CHECK(fields.size() == 12, "store csv line "
+                                         << line_no
+                                         << ": selection row needs 12 fields");
+      store::SelectionRecord record;
+      record.device_fingerprint = std::stoull(fields[1], nullptr, 16);
+      record.shape.m = std::stoull(fields[2]);
+      record.shape.k = std::stoull(fields[3]);
+      record.shape.n = std::stoull(fields[4]);
+      record.config_index =
+          static_cast<std::uint32_t>(std::stoul(fields[5]));
+      // fields[6] is the config name, informational only.
+      record.warmup_seconds = std::stod(fields[7]);
+      record.sweeps = static_cast<std::uint32_t>(std::stoul(fields[8]));
+      record.quarantined_candidates =
+          static_cast<std::uint32_t>(std::stoul(fields[9]));
+      record.source = source_from_string(fields[10]);
+      record.cert_digest = std::stoull(fields[11], nullptr, 16);
+      if (store.put(std::move(record))) ++imported;
+    } else {
+      AKS_FAIL("store csv line " << line_no << ": unknown record type '"
+                                 << fields[0] << "'");
+    }
+  }
+  return imported;
+}
+
+int cmd_store(const Args& args) {
+  AKS_CHECK(!args.positional.empty(),
+            "usage: aks_tune store inspect|export|import|merge|compact ...");
+  const std::string sub = args.positional[0];
+  const auto device = device_from(args);
+
+  if (sub == "inspect") {
+    AKS_CHECK(args.positional.size() == 2,
+              "usage: aks_tune store inspect <store>");
+    const store::SelectionStore store(args.positional[1],
+                                      store_options_from(args, device));
+    const auto stats = store.stats();
+    std::cout << args.positional[1] << ": " << stats.selections
+              << " selections, " << stats.devices << " devices\n"
+              << "  loaded " << stats.records_loaded
+              << " records, corrupt tail records "
+              << stats.corrupt_tail_records << " (" << stats.bytes_dropped
+              << " bytes dropped)\n"
+              << "  rejected: malformed " << stats.rejected_malformed
+              << ", uncertified " << stats.rejected_uncertified
+              << ", stale digest " << stats.rejected_digest << "\n";
+    const auto& configs = gemm::enumerate_configs();
+    for (const auto& profile : store.devices()) {
+      std::cout << "  device " << fingerprint_hex(profile.fingerprint) << "  "
+                << profile.name << "\n";
+    }
+    for (const auto& record : store.selections()) {
+      std::cout << "  " << fingerprint_hex(record.device_fingerprint) << "  "
+                << record.shape.m << "x" << record.shape.k << "x"
+                << record.shape.n << " -> "
+                << configs[record.config_index].name() << "  ("
+                << to_string(record.source) << ", " << record.warmup_seconds
+                << "s warm-up, " << record.sweeps << " sweeps)\n";
+    }
+    return 0;
+  }
+  if (sub == "export") {
+    AKS_CHECK(args.positional.size() == 3,
+              "usage: aks_tune store export <store> <out.csv>");
+    const store::SelectionStore store(args.positional[1],
+                                      store_options_from(args, device));
+    std::ofstream out(args.positional[2]);
+    AKS_CHECK(out.good(), "cannot open " << args.positional[2]);
+    export_store_csv(store, out);
+    std::cout << "exported " << store.stats().selections << " selections, "
+              << store.stats().devices << " devices to " << args.positional[2]
+              << "\n";
+    return 0;
+  }
+  if (sub == "import") {
+    AKS_CHECK(args.positional.size() == 3,
+              "usage: aks_tune store import <in.csv> <store>");
+    std::ifstream in(args.positional[1]);
+    AKS_CHECK(in.good(), "cannot open " << args.positional[1]);
+    // Imports are validation-strict: a malformed row or an uncertified
+    // config is an error, not a silently dropped record.
+    store::SelectionStore store(args.positional[2],
+                                store_options_from(args, device,
+                                                   /*strict=*/true));
+    const std::size_t imported = import_store_csv(in, store);
+    store.flush();
+    std::cout << "imported " << imported << " records into "
+              << args.positional[2] << "\n";
+    return 0;
+  }
+  if (sub == "merge") {
+    AKS_CHECK(args.positional.size() >= 3,
+              "usage: aks_tune store merge <dst> <src>...");
+    store::SelectionStore dst(args.positional[1],
+                              store_options_from(args, device));
+    std::size_t adopted = 0;
+    for (std::size_t i = 2; i < args.positional.size(); ++i) {
+      const store::SelectionStore src(args.positional[i],
+                                      store_options_from(args, device));
+      adopted += dst.merge_from(src);
+    }
+    dst.flush();
+    std::cout << "merged " << adopted << " records into " << args.positional[1]
+              << " (" << dst.stats().selections << " selections, "
+              << dst.stats().devices << " devices)\n";
+    return 0;
+  }
+  if (sub == "compact") {
+    AKS_CHECK(args.positional.size() == 2,
+              "usage: aks_tune store compact <store>");
+    store::SelectionStore store(args.positional[1],
+                                store_options_from(args, device));
+    store.compact();
+    std::cout << "compacted " << args.positional[1] << " to "
+              << store.stats().selections << " selections, "
+              << store.stats().devices << " devices\n";
+    return 0;
+  }
+  AKS_FAIL("unknown store subcommand '" << sub
+                                        << "' (inspect | export | import | "
+                                           "merge | compact)");
 }
 
 int cmd_dataset(const Args& args) {
@@ -228,7 +465,14 @@ int cmd_serve(const Args& args) {
     corpus.push_back(lowered.shape);
   }
 
-  const perf::TimingModel timing(device_from(args), 0.03, 42);
+  const auto device = device_from(args);
+  std::unique_ptr<store::SelectionStore> store;
+  if (const auto it = args.options.find("store"); it != args.options.end()) {
+    store = std::make_unique<store::SelectionStore>(
+        it->second, store_options_from(args, device));
+  }
+
+  const perf::TimingModel timing(device, 0.03, 42);
   select::OnlineTuner tuner(
       allowed, [&](const gemm::KernelConfig& config,
                    const gemm::GemmShape& shape) {
@@ -252,6 +496,11 @@ int cmd_serve(const Args& args) {
     service = std::make_unique<serve::SelectionService>(tuner,
                                                         service_options);
   }
+  if (store) {
+    const std::size_t seeded = service->warm_start(*store, device);
+    std::cerr << "warm start: " << seeded << " shapes pre-seeded from "
+              << store->path() << "\n";
+  }
 
   std::cerr << "serving " << corpus.size() << " shapes x " << repeats
             << " repeats on " << threads << " threads (" << mode << ")...\n";
@@ -271,6 +520,12 @@ int cmd_serve(const Args& args) {
   for (auto& client : clients) client.join();
   const double seconds = timer.elapsed_seconds();
 
+  std::size_t refreshed = 0;
+  if (store) {
+    // Cross-device priors served during the run get their local re-tune
+    // now, off the client path, before the decisions are persisted.
+    refreshed = service->refresh_provisional();
+  }
   const auto stats = service->stats();
   const auto total = static_cast<double>(threads * repeats * corpus.size());
   std::cout << "served " << static_cast<std::uint64_t>(total) << " selects in "
@@ -280,6 +535,20 @@ int cmd_serve(const Args& args) {
             << ", duplicate sweeps " << stats.duplicate_sweeps << "\n"
             << "  cached shapes " << stats.cached_shapes
             << ", warm-up seconds " << stats.warmup_seconds << "\n";
+  if (store) {
+    std::cout << "  store: preloaded " << stats.preloaded
+              << ", transfer priors " << stats.transfer_priors
+              << ", refreshed " << refreshed;
+    try {
+      const std::size_t flushed = store->flush();
+      std::cout << ", flushed " << flushed << " records\n";
+    } catch (const common::Error& e) {
+      // Degradation contract: losing warm-start persistence must never
+      // fail the serving run — the decisions already served stand.
+      std::cout << ", flush FAILED (kept in memory)\n";
+      std::cerr << "warning: store flush failed: " << e.what() << "\n";
+    }
+  }
   if (faults::plan_active()) {
     std::cout << "  warm-up failures " << stats.warmup_failures
               << ", fallbacks served " << stats.fallbacks_served
@@ -330,7 +599,14 @@ void print_usage() {
       "  select --selector <file> M K N\n"
       "  serve               replay the corpus through the serving layer\n"
       "                      (--threads N --repeats R --serve-mode\n"
-      "                      online|learned --metrics-out <csv>)\n"
+      "                      online|learned --metrics-out <csv>\n"
+      "                      --store <file> to warm-start from / persist to\n"
+      "                      a selection store)\n"
+      "  store inspect <store>          persistent selection-store toolbox\n"
+      "  store export <store> <out.csv>\n"
+      "  store import <in.csv> <store>\n"
+      "  store merge <dst> <src>...\n"
+      "  store compact <store>\n"
       "  report              one-page tuning summary\n"
       "options: --dataset <csv> --device r9nano|igpu|embedded\n"
       "         --device-file <key=value file> (see DeviceSpec::from_file)\n"
@@ -340,7 +616,9 @@ void print_usage() {
       "         --fault-plan <spec>  inject deterministic faults (canned:\n"
       "                      none|timing-noise-heavy|launch-failure-heavy|\n"
       "                      mixed, optional @rate, or key=value pairs —\n"
-      "                      see DESIGN.md; overrides AKS_FAULT_PLAN)\n";
+      "                      see DESIGN.md; overrides AKS_FAULT_PLAN)\n"
+      "         --certify <certify.csv>  gate store records on symbolic\n"
+      "                      SAFE certificates (see `aks_check certify`)\n";
 }
 
 }  // namespace
@@ -363,6 +641,7 @@ int main(int argc, char** argv) {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "select") return cmd_select(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "store") return cmd_store(args);
     if (args.command == "report") return cmd_report(args);
     print_usage();
     return args.command.empty() ? 1 : 2;
