@@ -1,0 +1,152 @@
+// Tracing-overhead gate: the trace layer is compiled into every hot path
+// (SelectionService::select, queue launches, tuner sweeps), so its
+// *disabled* cost must be negligible. This bench measures three things:
+//
+//   1. the per-select cost of the serving workload with tracing disabled
+//      (no TraceSession — the shipped default),
+//   2. the cost of one disabled begin/end probe pair in isolation (a single
+//      relaxed atomic load each), scaled against (1), and
+//   3. the same workload with a session installed, reported informationally
+//      (enabled runs are a debugging mode, not a production configuration).
+//
+// Exit status is non-zero if the disabled probes account for more than
+// kMaxOverheadFraction (2%) of a warm select, so CI can gate on this binary
+// directly. The workload gate uses the probe microbenchmark rather than the
+// difference of two noisy end-to-end runs: the select path contains a fixed
+// number of probes, so probe_cost * probes_per_select bounds the real
+// regression without the run-to-run jitter swamping a sub-2% signal.
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "core/online.hpp"
+#include "core/pruning.hpp"
+#include "serve/selection_service.hpp"
+#include "trace/trace.hpp"
+
+namespace aks {
+namespace {
+
+constexpr double kMaxOverheadFraction = 0.02;
+/// Disabled probes on the warm select path: the serve.select span checks
+/// `enabled()` once before arming; close() only tests a plain bool.
+constexpr double kProbesPerSelect = 1.0;
+
+struct WorkloadResult {
+  double ns_per_select = 0.0;
+  std::uint64_t selects = 0;
+};
+
+WorkloadResult run_workload(const std::vector<gemm::GemmShape>& corpus,
+                            const std::vector<std::size_t>& candidates,
+                            std::size_t repeats) {
+  const perf::TimingModel timing(perf::DeviceSpec::amd_r9_nano(), 0.03, 42);
+  select::OnlineTuner tuner(
+      candidates, [&](const gemm::KernelConfig& config,
+                      const gemm::GemmShape& shape) {
+        return timing.best_of(config, shape, 5);
+      });
+  serve::SelectionService service(tuner);
+
+  // Pay the warm-up sweeps outside the timed region: the gate is about the
+  // steady-state select path, not cold-start tuning.
+  for (const auto& shape : corpus) (void)service.select(shape);
+
+  common::Timer timer;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    // select() updates service state, so the calls cannot be elided.
+    for (const auto& shape : corpus) (void)service.select(shape);
+  }
+  const double seconds = timer.elapsed_seconds();
+
+  WorkloadResult result;
+  result.selects = repeats * corpus.size();
+  result.ns_per_select = seconds * 1e9 / static_cast<double>(result.selects);
+  return result;
+}
+
+/// Cost of one disabled probe (a relaxed atomic load and branch), in ns.
+/// Uses a real span name and a data-dependent arg so the compiler cannot
+/// fold the calls away; includes loop overhead, so it over-estimates.
+double disabled_probe_ns() {
+  constexpr std::uint64_t kIterations = 50'000'000;
+  common::Timer timer;
+  for (std::uint64_t i = 0; i < kIterations; ++i) {
+    trace::begin("bench.probe", {trace::arg("i", i)});
+  }
+  const double seconds = timer.elapsed_seconds();
+  return seconds * 1e9 / static_cast<double>(kIterations);
+}
+
+int run() {
+  bench::print_banner("Tracing layer: disabled-path overhead gate",
+                      "src/trace must be free when not in use");
+
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+  select::DecisionTreePruner pruner;
+  const auto candidates = pruner.prune(split.train, 8);
+
+  std::vector<gemm::GemmShape> corpus;
+  for (const auto& lowered : data::extract_all_shapes()) {
+    corpus.push_back(lowered.shape);
+  }
+  const std::size_t repeats = 200;
+
+  const double probe_ns = disabled_probe_ns();
+  const auto disabled = run_workload(corpus, candidates, repeats);
+  const double bound_fraction =
+      kProbesPerSelect * probe_ns / disabled.ns_per_select;
+
+  double enabled_ns = 0.0;
+  trace::TraceStats stats;
+  {
+    trace::TraceOptions options;
+    options.buffer_bytes_per_thread = 64ull << 20;
+    trace::TraceSession session(options);
+    enabled_ns = run_workload(corpus, candidates, repeats).ns_per_select;
+    session.stop();
+    stats = session.stats();
+  }
+
+  bench::print_row({"mode", "ns/select", "overhead"}, 16);
+  bench::print_row({"disabled", common::format_fixed(disabled.ns_per_select, 1),
+                    "baseline"},
+                   16);
+  bench::print_row({"probe bound",
+                    common::format_fixed(kProbesPerSelect * probe_ns, 2),
+                    bench::pct(bound_fraction)},
+                   16);
+  bench::print_row({"enabled", common::format_fixed(enabled_ns, 1),
+                    bench::pct(enabled_ns / disabled.ns_per_select - 1.0)},
+                   16);
+  std::cout << "\ndisabled probe: " << common::format_fixed(probe_ns, 3)
+            << " ns; enabled session recorded " << stats.recorded
+            << " events from " << stats.threads << " threads ("
+            << stats.dropped << " dropped)\n";
+
+  bool ok = true;
+  if (bound_fraction >= kMaxOverheadFraction) {
+    std::cerr << "FAILED: disabled probes cost " << bench::pct(bound_fraction)
+              << " of a warm select (budget "
+              << bench::pct(kMaxOverheadFraction) << ")\n";
+    ok = false;
+  }
+  if (stats.recorded == 0) {
+    std::cerr << "FAILED: enabled session recorded no events\n";
+    ok = false;
+  }
+  if (stats.dropped != 0) {
+    std::cerr << "FAILED: enabled session dropped " << stats.dropped
+              << " events despite a 64 MiB per-thread buffer\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

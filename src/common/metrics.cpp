@@ -5,17 +5,36 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/error.hpp"
+
 namespace aks::common {
 
 namespace {
 
 std::size_t bucket_index(double seconds) {
-  if (!(seconds > 0.0)) return 0;
+  if (!(seconds > 0.0)) return 0;  // negatives and NaN land in bucket 0
   const double ns = seconds * 1e9;
   if (ns < 2.0) return 0;
+  // Clamp before the cast: static_cast<uint64_t> of a double >= 2^64 (or
+  // inf) is undefined behaviour. Anything at or past the last bucket's
+  // lower edge (2^(kBuckets-1) ns) belongs in the last bucket anyway.
+  if (ns >= std::ldexp(1.0, LatencyHistogram::kBuckets - 1)) {
+    return LatencyHistogram::kBuckets - 1;
+  }
   const auto truncated = static_cast<std::uint64_t>(ns);
   const auto index = static_cast<std::size_t>(std::bit_width(truncated)) - 1;
   return std::min(index, LatencyHistogram::kBuckets - 1);
+}
+
+/// CSV metadata characters would corrupt write_csv output; reject them when
+/// the metric is first registered rather than silently emitting a broken
+/// schema at export time.
+void check_metric_name(const std::string& name) {
+  AKS_CHECK(!name.empty(), "metric name must not be empty");
+  AKS_CHECK(name.find_first_of(",\"\n\r") == std::string::npos,
+            "metric name '" << name
+                            << "' contains CSV metadata characters "
+                               "(comma, quote, or newline)");
 }
 
 }  // namespace
@@ -39,8 +58,10 @@ double LatencyHistogram::quantile_seconds(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
+  // rank >= 1 so q=0 resolves to the first *non-empty* bucket instead of
+  // bucket 0's upper edge when bucket 0 holds no samples.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += bucket_count(i);
@@ -50,6 +71,7 @@ double LatencyHistogram::quantile_seconds(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  check_metric_name(name);
   std::lock_guard lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -57,6 +79,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Accumulator& MetricsRegistry::accumulator(const std::string& name) {
+  check_metric_name(name);
   std::lock_guard lock(mutex_);
   auto& slot = accumulators_[name];
   if (!slot) slot = std::make_unique<Accumulator>();
@@ -64,6 +87,7 @@ Accumulator& MetricsRegistry::accumulator(const std::string& name) {
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  check_metric_name(name);
   std::lock_guard lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();

@@ -102,6 +102,10 @@ class ScopedLatency {
 /// resolve a metric once and update it lock-free afterwards.
 class MetricsRegistry {
  public:
+  /// Lookups create the instrument on first use. Names must be non-empty
+  /// and free of CSV metadata characters (comma, double quote, newline) —
+  /// offenders throw `common::Error` at registration rather than corrupting
+  /// the write_csv schema at export time.
   Counter& counter(const std::string& name);
   Accumulator& accumulator(const std::string& name);
   LatencyHistogram& histogram(const std::string& name);

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "faults/injector.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::select {
 
@@ -57,6 +58,14 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
     }
   }
 
+  trace::Span sweep_span;
+  if (trace::enabled()) {
+    sweep_span.arm("tuner.sweep",
+                   {trace::arg("m", shape.m), trace::arg("k", shape.k),
+                    trace::arg("n", shape.n),
+                    trace::arg("candidates", candidates_.size())});
+  }
+
   double best_time = std::numeric_limits<double>::infinity();
   std::size_t best = candidates_.front();
   bool any_valid = false;
@@ -66,6 +75,10 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
     if (!eligible[i]) continue;
     const std::size_t candidate = candidates_[i];
+    trace::Span trial_span;
+    if (trace::enabled()) {
+      trial_span.arm("tuner.trial", {trace::arg("config", candidate)});
+    }
     double candidate_best = std::numeric_limits<double>::infinity();
     for (int attempt = 0; attempt < options_.trial_attempts; ++attempt) {
       // Arm both the warm-up-trial and kernel-launch sites: the timer may
@@ -110,21 +123,26 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
     }
     if (std::isfinite(candidate_best)) {
       any_valid = true;
+      trial_span.annotate(trace::arg("best_seconds", candidate_best));
       if (candidate_best < best_time) {
         best_time = candidate_best;
         best = candidate;
       }
     } else {
       failed[i] = true;
+      trial_span.annotate(trace::arg("outcome", "failed"));
     }
   }
   trial_seconds_.add(sweep_seconds);
+  sweep_span.annotate(trace::arg("sweep_seconds", sweep_seconds));
+  sweep_span.annotate(trace::arg("winner", best));
   if (!any_valid) {
     // Whole sweep failed: serve the guaranteed fallback instead of
     // throwing. The result is still cached — single-flight layers above
     // would cache it anyway, and a fully-dead sweep for a shape is a plan
     // property, so retrying per-request would only re-pay the sweep.
     degraded_selects_.fetch_add(1, std::memory_order_relaxed);
+    sweep_span.annotate(trace::arg("outcome", "degraded"));
   }
 
   std::unique_lock lock(mutex_);
@@ -135,6 +153,8 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
       if (failed[i]) {
         if (++health.consecutive_failures >= options_.quarantine_threshold) {
           health.quarantined = true;
+          trace::instant("tuner.quarantine",
+                         {trace::arg("config", candidates_[i])});
         }
       } else {
         health.consecutive_failures = 0;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace aks::faults {
 
 namespace {
@@ -147,7 +149,12 @@ Fault probe(Site site) {
     // crash, from an independent sub-stream; always a strict prefix.
     fault.magnitude = to_unit(splitmix64(h));
   }
-  if (fault) g_injected.fetch_add(1, std::memory_order_relaxed);
+  if (fault) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    trace::instant("fault.injected", {trace::arg("site", to_string(site)),
+                                      trace::arg("kind", to_string(fault.kind)),
+                                      trace::arg("magnitude", fault.magnitude)});
+  }
   return fault;
 }
 

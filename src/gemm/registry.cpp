@@ -1,9 +1,12 @@
 #include "gemm/registry.hpp"
 
 #include <map>
+#include <optional>
 
 #include "common/error.hpp"
+#include "gemm/config.hpp"
 #include "gemm/tiled_kernel.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::gemm {
 
@@ -147,6 +150,27 @@ const KernelLauncher& find_kernel(int row_tile, int col_tile, int acc_size) {
   return it->second;
 }
 
+namespace {
+
+trace::LaunchAnnotation::Info launch_info(const KernelConfig& config,
+                                          const GemmShape& shape,
+                                          std::size_t batch) {
+  trace::LaunchAnnotation::Info info;
+  try {
+    info.config_index = config_index(config);
+  } catch (const common::Error&) {
+    // Non-canonical (hand-built) config: no stable index to attach.
+    info.config_index = ~std::uint64_t{0};
+  }
+  info.m = shape.m;
+  info.k = shape.k;
+  info.n = shape.n;
+  info.batch = batch;
+  return info;
+}
+
+}  // namespace
+
 syclrt::Event launch_gemm(syclrt::Queue& queue, const KernelConfig& config,
                           std::span<const float> a, std::span<const float> b,
                           std::span<float> c, const GemmShape& shape) {
@@ -160,6 +184,12 @@ syclrt::Event launch_gemm(syclrt::Queue& queue, const KernelConfig& config,
             "C has " << c.size() << " elements, shape needs " << shape.m * shape.n);
   const auto& launcher =
       find_kernel(config.row_tile, config.col_tile, config.acc_size);
+  // The queue's launch span picks the annotation up from thread-local state
+  // — this is the layer that knows which selection decision is being run.
+  std::optional<trace::LaunchAnnotation> annotation;
+  if (trace::enabled()) {
+    annotation.emplace(launch_info(config, shape, /*batch=*/1));
+  }
   return launcher(queue, a, b, c, shape, config.wg_rows, config.wg_cols);
 }
 
@@ -179,6 +209,10 @@ syclrt::Event launch_batched_gemm(syclrt::Queue& queue,
       Key{config.row_tile, config.col_tile, config.acc_size});
   AKS_CHECK(it != batched_registry().end(),
             "no compiled batched kernel for " << config.name());
+  std::optional<trace::LaunchAnnotation> annotation;
+  if (trace::enabled()) {
+    annotation.emplace(launch_info(config, shape, batch));
+  }
   return it->second(queue, a, b, c, shape, batch, config.wg_rows,
                     config.wg_cols);
 }

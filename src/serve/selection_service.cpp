@@ -10,6 +10,7 @@
 #include "core/online.hpp"
 #include "core/selector.hpp"
 #include "store/selection_store.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::serve {
 
@@ -83,7 +84,16 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
   if ((tl_latency_tick++ & (kLatencySampleStride - 1)) == 0) {
     latency.emplace(select_latency_);
   }
-  Shard& shard = shard_for(shape);
+  const std::size_t shard_index =
+      std::hash<gemm::GemmShape>{}(shape) & shard_mask_;
+  Shard& shard = *shards_[shard_index];
+
+  trace::Span span;
+  if (trace::enabled()) {
+    span.arm("serve.select",
+             {trace::arg("m", shape.m), trace::arg("k", shape.k),
+              trace::arg("n", shape.n), trace::arg("shard", shard_index)});
+  }
 
   std::shared_ptr<Entry> entry;
   bool leader = false;
@@ -101,8 +111,10 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
     // Store-backed services consult the nearest-device prior before paying
     // for a sweep; a hit publishes the entry (provisionally) sweep-free.
     if (store_ != nullptr && try_transfer_prior(shape, entry)) {
+      span.annotate(trace::arg("outcome", "transfer_prior"));
       return entry->config;
     }
+    span.annotate(trace::arg("outcome", "miss"));
     return run_warm_up(shape, shard, entry);
   }
 
@@ -110,15 +122,20 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
     // Hot path: published entries are immutable, no entry lock needed, and
     // the hit count goes to the shard's stripe, not a global line.
     shard.hits.fetch_add(1, std::memory_order_relaxed);
+    span.annotate(trace::arg("outcome", "hit"));
   } else {
     coalesced_waits_.add();
+    span.annotate(trace::arg("outcome", "coalesced_wait"));
     std::unique_lock lock(entry->m);
     entry->cv.wait(lock, [&entry] {
       return entry->ready.load(std::memory_order_acquire);
     });
   }
   if (entry->error) std::rethrow_exception(entry->error);
-  if (entry->fallback) fallbacks_served_.add();
+  if (entry->fallback) {
+    fallbacks_served_.add();
+    span.annotate(trace::arg("fallback", std::uint64_t{1}));
+  }
   return entry->config;
 }
 
@@ -257,6 +274,12 @@ gemm::KernelConfig SelectionService::run_warm_up(
     duplicate_sweeps_.add();
   }
 
+  trace::Span span;
+  if (trace::enabled()) {
+    span.arm("serve.warmup",
+             {trace::arg("m", shape.m), trace::arg("k", shape.k),
+              trace::arg("n", shape.n)});
+  }
   gemm::KernelConfig config{};
   std::exception_ptr error;
   common::Timer timer;
@@ -268,10 +291,13 @@ gemm::KernelConfig SelectionService::run_warm_up(
   const double seconds = timer.elapsed_seconds();
   warmup_latency_.record_seconds(seconds);
   warmup_seconds_.add(seconds);
+  span.annotate(trace::arg("seconds", seconds));
 
   bool degraded = false;
   if (error) {
     warmup_failures_.add();
+    span.annotate(trace::arg(
+        "outcome", fallback_.has_value() ? "fallback" : "error"));
     if (fallback_.has_value()) {
       // Degradation contract: serve the fallback to the leader and every
       // waiter instead of propagating; select() never throws. The entry is

@@ -10,6 +10,7 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "faults/injector.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::store {
 
@@ -211,6 +212,7 @@ void JournalWriter::append(RecordKind kind,
   write_all(fd_, framed.data(), framed.size(), path_);
   ++record_index_;
   ++appended_;
+  trace::instant("store.append", {trace::arg("bytes", framed.size())});
 }
 
 void compact_journal(const std::filesystem::path& path,

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "gemm/config.hpp"
 #include "store/journal.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::store {
 
@@ -147,6 +148,11 @@ std::size_t SelectionStore::flush() {
   std::lock_guard lock(mutex_);
   if (dirty_.empty() && dirty_devices_.empty()) return 0;
 
+  trace::Span span;
+  if (trace::enabled()) {
+    span.arm("store.flush",
+             {trace::arg("dirty", dirty_.size() + dirty_devices_.size())});
+  }
   JournalWriter writer(path_);
   std::size_t persisted = 0;
   std::vector<std::uint8_t> payload;
@@ -173,9 +179,12 @@ std::size_t SelectionStore::flush() {
     // already-flushed entries and re-attempts the rest.
     stats_.appended += persisted;
     ++stats_.write_failures;
+    span.annotate(trace::arg("outcome", "failed"));
+    span.annotate(trace::arg("persisted", persisted));
     throw;
   }
   stats_.appended += persisted;
+  span.annotate(trace::arg("persisted", persisted));
   return persisted;
 }
 
@@ -199,10 +208,16 @@ std::vector<RawRecord> SelectionStore::live_records_locked() const {
 
 void SelectionStore::compact() {
   std::lock_guard lock(mutex_);
+  trace::Span span;
+  if (trace::enabled()) {
+    span.arm("store.compact",
+             {trace::arg("live", devices_.size() + selections_.size())});
+  }
   try {
     compact_journal(path_, live_records_locked());
   } catch (const common::Error&) {
     ++stats_.write_failures;
+    span.annotate(trace::arg("outcome", "failed"));
     throw;
   }
   // The rewrite persisted the full live set, dirty entries included.

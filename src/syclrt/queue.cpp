@@ -1,8 +1,45 @@
 #include "syclrt/queue.hpp"
 
+#include <string>
 #include <thread>
 
 namespace aks::syclrt {
+
+namespace detail {
+
+void arm_launch_span(trace::Span& span, const char* name, std::size_t groups,
+                     std::size_t items) {
+  const trace::LaunchAnnotation::Info* info =
+      trace::LaunchAnnotation::current();
+  if (info != nullptr) {
+    // Shape as one interned "MxKxN" string: kMaxArgs is 4 and config +
+    // shape + dimensions already fill the begin payload. Interning takes
+    // the session lock, which a multi-millisecond kernel launch can afford.
+    const char* shape = "?";
+    if (auto* session = trace::TraceSession::current()) {
+      shape = session->intern(std::to_string(info->m) + "x" +
+                              std::to_string(info->k) + "x" +
+                              std::to_string(info->n));
+    }
+    span.arm(name, {trace::arg("config", info->config_index),
+                    trace::arg("shape", shape), trace::arg("groups", groups),
+                    trace::arg("items", items)});
+  } else {
+    span.arm(name,
+             {trace::arg("groups", groups), trace::arg("items", items)});
+  }
+}
+
+void finish_launch_span(trace::Span& span, double elapsed_seconds) {
+  span.annotate(trace::arg("measured_seconds", elapsed_seconds));
+  const trace::LaunchAnnotation::Info* info =
+      trace::LaunchAnnotation::current();
+  if (info != nullptr && info->has_prediction) {
+    span.annotate(trace::arg("predicted_seconds", info->predicted_seconds));
+  }
+}
+
+}  // namespace detail
 
 Device Device::host() {
   Device d;
@@ -20,12 +57,17 @@ Queue::Queue(Device device, common::ThreadPool* pool)
 
 Event Queue::single_task(const std::function<void()>& task) {
   faults::maybe_inject_launch_fault();
+  trace::Span span;
+  if (trace::enabled()) {
+    detail::arm_launch_span(span, "queue.single_task", 1, 1);
+  }
   common::Timer timer;
   task();
   Event event;
   event.elapsed_seconds = timer.elapsed_seconds();
   event.group_count = 1;
   event.item_count = 1;
+  if (span.armed()) detail::finish_launch_span(span, event.elapsed_seconds);
   record(event);
   return event;
 }

@@ -38,8 +38,20 @@
 #include "syclrt/instrument.hpp"
 #include "syclrt/nd_item.hpp"
 #include "syclrt/range.hpp"
+#include "trace/trace.hpp"
 
 namespace aks::syclrt {
+
+namespace detail {
+/// Out-of-line trace helpers so the submission templates stay small: arm
+/// attaches the launch dimensions plus the installed trace::LaunchAnnotation
+/// (config index, shape, predicted time) to the span's begin event; finish
+/// attaches the measured wall time (and the prediction for side-by-side
+/// comparison) to its end event. Call only when trace::enabled().
+void arm_launch_span(trace::Span& span, const char* name, std::size_t groups,
+                     std::size_t items);
+void finish_launch_span(trace::Span& span, double elapsed_seconds);
+}  // namespace detail
 
 /// Completion record for a submission.
 struct Event {
@@ -145,6 +157,11 @@ class Queue {
     const Range<Dims> groups = range.group_count();
     const Range<Dims> local = range.local();
     const Range<Dims> logical = range.global();
+    trace::Span span;
+    if (trace::enabled()) {
+      detail::arm_launch_span(span, "queue.parallel_for", groups.size(),
+                              range.padded_global().size());
+    }
     common::Timer timer;
     for_each_group(groups, [&](Id<Dims> group) {
       WorkGroup<Dims>(group, local, logical)
@@ -154,6 +171,7 @@ class Queue {
     event.elapsed_seconds = timer.elapsed_seconds();
     event.group_count = groups.size();
     event.item_count = range.padded_global().size();
+    if (span.armed()) detail::finish_launch_span(span, event.elapsed_seconds);
     record(event);
     return event;
   }
@@ -166,6 +184,11 @@ class Queue {
     for (int d = 0; d < Dims; ++d) logical[d] = num_groups[d] * group_size[d];
     validate(NdRange<Dims>(logical, group_size));
     faults::maybe_inject_launch_fault();
+    trace::Span span;
+    if (trace::enabled()) {
+      detail::arm_launch_span(span, "queue.parallel_for_work_group",
+                              num_groups.size(), logical.size());
+    }
     common::Timer timer;
     for_each_group(num_groups, [&](Id<Dims> group) {
       body(WorkGroup<Dims>(group, group_size, logical));
@@ -174,6 +197,7 @@ class Queue {
     event.elapsed_seconds = timer.elapsed_seconds();
     event.group_count = num_groups.size();
     event.item_count = logical.size();
+    if (span.armed()) detail::finish_launch_span(span, event.elapsed_seconds);
     record(event);
     return event;
   }

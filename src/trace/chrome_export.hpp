@@ -1,0 +1,30 @@
+// Exporters over a drained, (ts, tid, seq)-sorted event list — see
+// TraceSession::events(). Split from trace.cpp so the formats are testable
+// against hand-built event vectors without running a live session.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace aks::trace {
+
+/// Chrome trace-event JSON: `{"displayTimeUnit":"ns","traceEvents":[...]}`
+/// with one object per event (ph B/E/i/C, pid 1, tid, ts in microseconds to
+/// 3 decimals, args by type). Instants get thread scope (`"s":"t"`).
+/// Tolerates unbalanced begin/end pairs — viewers auto-close them.
+void write_chrome_trace_json(const std::vector<Event>& events,
+                             std::ostream& out);
+
+/// Per-span-name summary CSV:
+/// `name,count,total_seconds,mean_seconds,p50_seconds,p99_seconds`, rows
+/// sorted by name, quantiles from common::LatencyHistogram bucket upper
+/// bounds. Begin/end events are paired LIFO per thread; returns the number
+/// of events left unpaired (a begin with no end because the session stopped
+/// mid-span, or an end whose begin was dropped by a full ring).
+std::size_t write_span_summary_csv(const std::vector<Event>& events,
+                                   std::ostream& out);
+
+}  // namespace aks::trace

@@ -1,0 +1,81 @@
+// Bounded single-producer/single-consumer event ring for the trace layer.
+//
+// Each tracing thread owns exactly one EventRing: the owner thread is the
+// only producer, and the draining TraceSession is the only consumer, so the
+// ring needs no locks — one release store on the head publishes a slot, one
+// acquire load on the other side's index keeps both ends coherent. When the
+// ring is full the event is dropped and counted, never blocked on: tracing
+// must not introduce back-pressure into the serving hot path, and a drop
+// counter that disagrees with the recorded-event count is itself a useful
+// diagnostic (the buffer was sized too small for the workload).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace aks::trace {
+
+class EventRing {
+ public:
+  /// `capacity` slots, minimum 16; `tid` is stamped into every event.
+  EventRing(std::size_t capacity, std::uint32_t tid)
+      : slots_(capacity < 16 ? 16 : capacity), tid_(tid) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Producer side (owner thread only). Stamps tid and a per-thread
+  /// monotonic sequence number; drops and counts when the ring is full.
+  bool push(Event event) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    event.tid = tid_;
+    event.seq = head;
+    slots_[head % slots_.size()] = event;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (one drainer). Appends every published event to `out`
+  /// and frees the slots. Events published concurrently with the drain are
+  /// simply picked up by the next drain.
+  std::size_t drain_into(std::vector<Event>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t drained = static_cast<std::size_t>(head - tail);
+    out.reserve(out.size() + drained);
+    while (tail < head) {
+      out.push_back(slots_[tail % slots_.size()]);
+      ++tail;
+    }
+    tail_.store(tail, std::memory_order_release);
+    return drained;
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Total events ever accepted (the head index — tail never rewinds it).
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Event> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint32_t tid_;
+};
+
+}  // namespace aks::trace

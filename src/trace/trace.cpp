@@ -1,0 +1,194 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/ring_buffer.hpp"
+
+namespace aks::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+struct TraceSession::Impl {
+  TraceOptions options;
+  mutable std::mutex mutex;
+  /// Rings are co-owned by the session and the emitting thread's TLS slot,
+  /// so neither a late-emitting thread nor an early-destroyed session can
+  /// leave the other with a dangling ring.
+  std::vector<std::shared_ptr<EventRing>> rings;
+  std::uint32_t next_tid = 1;
+  /// Node-based so c_str() pointers stay stable for the session lifetime.
+  std::set<std::string, std::less<>> interned;
+  std::vector<Event> drained;
+  bool drained_valid = false;
+};
+
+namespace {
+
+// Install state. g_impl/g_owner are guarded by g_session_mutex; the
+// generation counter lets threads detect (un)installs without locking on
+// the hot path — a thread re-registers its ring only when the generation it
+// cached no longer matches.
+std::mutex g_session_mutex;
+TraceSession::Impl* g_impl = nullptr;
+TraceSession* g_owner = nullptr;
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+thread_local struct TlsRing {
+  std::shared_ptr<EventRing> ring;
+  std::uint64_t generation = 0;
+} tl_ring;
+
+thread_local const LaunchAnnotation::Info* tl_launch = nullptr;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t capacity_events(const TraceOptions& options) {
+  return std::max<std::size_t>(16, options.buffer_bytes_per_thread /
+                                       sizeof(Event));
+}
+
+/// This thread's ring under the current session, attaching one on first
+/// use. Null when no session is installed (or it raced away).
+EventRing* thread_ring() {
+  TlsRing& tls = tl_ring;
+  const std::uint64_t generation =
+      g_generation.load(std::memory_order_acquire);
+  if (tls.generation != generation) {
+    tls.generation = generation;
+    tls.ring.reset();
+    std::lock_guard lock(g_session_mutex);
+    if (g_impl != nullptr &&
+        detail::g_enabled.load(std::memory_order_acquire) &&
+        g_generation.load(std::memory_order_relaxed) == generation) {
+      auto ring = std::make_shared<EventRing>(
+          capacity_events(g_impl->options), g_impl->next_tid++);
+      std::lock_guard rings_lock(g_impl->mutex);
+      g_impl->rings.push_back(ring);
+      tls.ring = std::move(ring);
+    }
+  }
+  return tls.ring.get();
+}
+
+}  // namespace
+
+namespace detail {
+
+void emit(EventType type, const char* name, const Arg* args, std::size_t n) {
+  EventRing* ring = thread_ring();
+  if (ring == nullptr) return;
+  Event event;
+  event.ts_ns = now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+  event.name = name;
+  event.type = type;
+  event.num_args =
+      static_cast<std::uint8_t>(std::min<std::size_t>(n, kMaxArgs));
+  for (std::size_t i = 0; i < event.num_args; ++i) event.args[i] = args[i];
+  ring->push(event);
+}
+
+}  // namespace detail
+
+LaunchAnnotation::LaunchAnnotation(const Info& info)
+    : info_(info), previous_(tl_launch) {
+  tl_launch = &info_;
+}
+
+LaunchAnnotation::~LaunchAnnotation() { tl_launch = previous_; }
+
+const LaunchAnnotation::Info* LaunchAnnotation::current() {
+  return tl_launch;
+}
+
+TraceSession::TraceSession(TraceOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  std::lock_guard lock(g_session_mutex);
+  AKS_CHECK(g_impl == nullptr,
+            "a TraceSession is already active (one per process)");
+  g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  g_impl = impl_.get();
+  g_owner = this;
+  g_generation.fetch_add(1, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() {
+  stop();
+  std::lock_guard lock(g_session_mutex);
+  if (g_impl == impl_.get()) {
+    g_impl = nullptr;
+    g_owner = nullptr;
+    // Invalidate every thread's cached ring pointer; the shared_ptr each
+    // TLS slot still holds keeps its ring's memory valid until the thread
+    // next emits (and re-checks the generation) or exits.
+    g_generation.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void TraceSession::stop() {
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+TraceSession* TraceSession::current() {
+  std::lock_guard lock(g_session_mutex);
+  return g_owner;
+}
+
+const std::vector<Event>& TraceSession::events() {
+  stop();
+  std::lock_guard lock(impl_->mutex);
+  if (!impl_->drained_valid) {
+    for (const auto& ring : impl_->rings) ring->drain_into(impl_->drained);
+    std::sort(impl_->drained.begin(), impl_->drained.end(),
+              [](const Event& a, const Event& b) {
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                if (a.tid != b.tid) return a.tid < b.tid;
+                return a.seq < b.seq;
+              });
+    impl_->drained_valid = true;
+  }
+  return impl_->drained;
+}
+
+void TraceSession::write_chrome_json(std::ostream& out) {
+  write_chrome_trace_json(events(), out);
+}
+
+void TraceSession::write_span_summary_csv(std::ostream& out) {
+  (void)aks::trace::write_span_summary_csv(events(), out);
+}
+
+TraceStats TraceSession::stats() const {
+  TraceStats stats;
+  std::lock_guard lock(impl_->mutex);
+  stats.threads = impl_->rings.size();
+  for (const auto& ring : impl_->rings) {
+    stats.recorded += ring->pushed();
+    stats.dropped += ring->dropped();
+  }
+  return stats;
+}
+
+const char* TraceSession::intern(std::string_view s) {
+  std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->interned.find(s);
+  if (it != impl_->interned.end()) return it->c_str();
+  return impl_->interned.emplace(s).first->c_str();
+}
+
+}  // namespace aks::trace

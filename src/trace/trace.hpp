@@ -1,0 +1,216 @@
+// End-to-end structured tracing — per-request causality for the whole
+// selection pipeline.
+//
+// Aggregate metrics (common/metrics.hpp) say *how often* a select() was
+// slow; this layer says *why*: one trace shows a request entering
+// serve::SelectionService, coalescing behind another thread's warm-up, the
+// leader's OnlineTuner sweep with every candidate trial, the syclrt kernel
+// launches under those trials, the store flush that persisted the decision,
+// and any fault injected along the way — each as a span or instant event
+// with nanosecond timestamps, the emitting thread, and a small typed-arg
+// payload.
+//
+// Design constraints, in priority order:
+//
+//  * disabled cost ≈ zero — tracing is off by default and every
+//    instrumentation site is guarded by `trace::enabled()`, a single
+//    relaxed atomic load. bench/trace_overhead gates the disabled-path
+//    cost at <2% of serving throughput.
+//
+//  * enabled cost is bounded — events go into per-thread lock-free SPSC
+//    rings (ring_buffer.hpp) sized by TraceOptions; a full ring drops and
+//    counts instead of blocking, so tracing can never add back-pressure to
+//    the serving hot path. The only locks are on the cold paths: first
+//    event of a thread (ring registration) and string interning.
+//
+//  * exportable anywhere — TraceSession::write_chrome_json() emits the
+//    Chrome trace-event format (load in chrome://tracing or
+//    https://ui.perfetto.dev), write_span_summary_csv() a per-span-name
+//    count/total/p50/p99 table reusing common::LatencyHistogram.
+//
+// Lifecycle: constructing a TraceSession installs it process-wide (one at
+// a time) and enables recording; stop() (or destruction) disables it.
+// Threads lazily attach a ring on their first event; rings are
+// shared_ptr-owned by both the session and the thread, so a thread that
+// races a session shutdown writes into memory that stays valid — the event
+// is simply not exported.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace aks::trace {
+
+namespace detail {
+/// Process-wide enable flag; read on every instrumentation site.
+extern std::atomic<bool> g_enabled;
+/// Slow path: stamps the timestamp and pushes into this thread's ring.
+void emit(EventType type, const char* name, const Arg* args, std::size_t n);
+}  // namespace detail
+
+/// One relaxed load — the entire disabled-path cost of a trace site.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void begin(const char* name, std::initializer_list<Arg> args = {}) {
+  if (enabled()) detail::emit(EventType::kBegin, name, args.begin(), args.size());
+}
+inline void end(const char* name, std::initializer_list<Arg> args = {}) {
+  if (enabled()) detail::emit(EventType::kEnd, name, args.begin(), args.size());
+}
+inline void instant(const char* name, std::initializer_list<Arg> args = {}) {
+  if (enabled())
+    detail::emit(EventType::kInstant, name, args.begin(), args.size());
+}
+inline void counter(const char* name, double value) {
+  if (enabled()) {
+    const Arg a = arg("value", value);
+    detail::emit(EventType::kCounter, name, &a, 1);
+  }
+}
+
+/// RAII span. Default-constructed disarmed so call sites can keep the
+/// arming decision (and the argument evaluation) behind one enabled()
+/// check:
+///
+///   trace::Span span;
+///   if (trace::enabled())
+///     span.arm("serve.select", {trace::arg("m", shape.m)});
+///   ...
+///   span.annotate(trace::arg("outcome", "hit"));  // attached to the end
+///
+/// If tracing is disabled mid-span the end event is dropped with the rest;
+/// the exporters tolerate unbalanced spans (they close them at the last
+/// drained timestamp and count them).
+class Span {
+ public:
+  Span() = default;
+  explicit Span(const char* name, std::initializer_list<Arg> args = {}) {
+    if (enabled()) arm(name, args);
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arm(const char* name, std::initializer_list<Arg> args = {}) {
+    name_ = name;
+    detail::emit(EventType::kBegin, name, args.begin(), args.size());
+  }
+
+  /// Attaches an argument to the end event (up to kMaxArgs; extras are
+  /// silently ignored). No-op when disarmed.
+  void annotate(const Arg& a) {
+    if (name_ != nullptr && num_end_args_ < kMaxArgs) {
+      end_args_[num_end_args_++] = a;
+    }
+  }
+
+  /// Emits the end event early (idempotent; the destructor then no-ops).
+  void close() {
+    if (name_ == nullptr) return;
+    detail::emit(EventType::kEnd, name_, end_args_, num_end_args_);
+    name_ = nullptr;
+    num_end_args_ = 0;
+  }
+
+  [[nodiscard]] bool armed() const { return name_ != nullptr; }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint8_t num_end_args_ = 0;
+  Arg end_args_[kMaxArgs];
+};
+
+/// Thread-local annotation describing the kernel behind the next
+/// syclrt::Queue submission(s) on this thread. The launcher that knows the
+/// configuration and problem shape (gemm::launch_gemm, the benchmark
+/// runner) installs one; Queue attaches the fields to its launch span so a
+/// trace correlates a launch with the selection decision that chose it.
+class LaunchAnnotation {
+ public:
+  struct Info {
+    std::uint64_t config_index = 0;
+    std::uint64_t m = 0, k = 0, n = 0;
+    std::uint64_t batch = 1;
+    /// Model-predicted kernel seconds; NaN when no prediction exists.
+    double predicted_seconds = 0.0;
+    bool has_prediction = false;
+  };
+
+  explicit LaunchAnnotation(const Info& info);
+  ~LaunchAnnotation();
+  LaunchAnnotation(const LaunchAnnotation&) = delete;
+  LaunchAnnotation& operator=(const LaunchAnnotation&) = delete;
+
+  /// The innermost annotation installed on this thread, or null.
+  [[nodiscard]] static const Info* current();
+
+ private:
+  Info info_;
+  const Info* previous_;
+};
+
+struct TraceOptions {
+  /// Ring capacity per tracing thread, in bytes (rounded down to whole
+  /// events, minimum 16 events). The CLI exposes this as --trace-buffer-kb.
+  std::size_t buffer_bytes_per_thread = std::size_t{4} << 20;
+};
+
+struct TraceStats {
+  std::uint64_t recorded = 0;  ///< events accepted into a ring
+  std::uint64_t dropped = 0;   ///< events rejected by a full ring
+  std::size_t threads = 0;     ///< threads that attached a ring
+};
+
+/// Owns the process-wide recording session. Exactly one may exist at a
+/// time (the constructor throws common::Error otherwise).
+class TraceSession {
+ public:
+  explicit TraceSession(TraceOptions options = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Disables recording (idempotent). Events already in the rings stay
+  /// drainable; threads stop producing after their next enabled() check.
+  void stop();
+
+  /// Stops and drains every ring into one deterministically ordered list:
+  /// sorted by (timestamp, tid, seq), so per-thread order — and therefore
+  /// begin/end nesting — is preserved exactly. Cached; repeated calls and
+  /// the exporters reuse the same snapshot.
+  const std::vector<Event>& events();
+
+  /// Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev).
+  void write_chrome_json(std::ostream& out);
+  /// Per-span-name summary: count,total,mean,p50,p99 (seconds), sorted by
+  /// name. Quantiles via common::LatencyHistogram bucket upper bounds.
+  void write_span_summary_csv(std::ostream& out);
+
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Copies `s` into session-owned storage and returns a stable pointer,
+  /// deduplicated. For names/args built at runtime (config names). Cold
+  /// path: takes the session lock.
+  const char* intern(std::string_view s);
+
+  /// The installed session, or null. Instrumentation does not need this
+  /// (emit() finds it internally); exposed for intern() call sites.
+  [[nodiscard]] static TraceSession* current();
+
+  struct Impl;  // opaque; defined in trace.cpp
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aks::trace

@@ -1,0 +1,90 @@
+// The fixed-size event record shared by the trace emitter, the per-thread
+// rings, and the exporters.
+//
+// Events are PODs copied by value into pre-allocated ring slots, so the hot
+// path never allocates. Names and string argument values are `const char*`
+// that must outlive the session: use string literals, or
+// TraceSession::intern() for strings built at runtime (interning is a
+// cold-path operation — do it once per warm-up/sweep, never per request).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace aks::trace {
+
+inline constexpr std::size_t kMaxArgs = 4;
+
+enum class EventType : std::uint8_t {
+  kBegin,    ///< span open ("B" in Chrome trace)
+  kEnd,      ///< span close ("E")
+  kInstant,  ///< point event ("i")
+  kCounter,  ///< sampled value ("C")
+};
+
+enum class ArgType : std::uint8_t { kNone, kUint, kInt, kDouble, kString };
+
+/// One typed key/value annotation attached to an event.
+struct Arg {
+  const char* key = nullptr;
+  ArgType type = ArgType::kNone;
+  union {
+    std::uint64_t u;
+    std::int64_t i;
+    double d;
+    const char* s;
+  } value{};
+};
+
+[[nodiscard]] inline Arg arg(const char* key, double v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kDouble;
+  a.value.d = v;
+  return a;
+}
+
+[[nodiscard]] inline Arg arg(const char* key, const char* v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kString;
+  a.value.s = v;
+  return a;
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_unsigned_v<T>)
+[[nodiscard]] inline Arg arg(const char* key, T v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kUint;
+  a.value.u = static_cast<std::uint64_t>(v);
+  return a;
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_signed_v<T>)
+[[nodiscard]] inline Arg arg(const char* key, T v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kInt;
+  a.value.i = static_cast<std::int64_t>(v);
+  return a;
+}
+
+/// One trace event. `tid` and `seq` are stamped by the owning ring; `seq`
+/// is per-thread monotonic, which makes the drained order deterministic
+/// (sort by timestamp, then tid, then seq) and keeps per-thread begin/end
+/// nesting intact even when timestamps tie.
+struct Event {
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since the session epoch
+  std::uint64_t seq = 0;
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  EventType type = EventType::kInstant;
+  std::uint8_t num_args = 0;
+  Arg args[kMaxArgs];
+};
+
+}  // namespace aks::trace

@@ -48,7 +48,9 @@
 #include "dataset/benchmark_runner.hpp"
 #include "faults/injector.hpp"
 #include "serve/selection_service.hpp"
+#include "store/csv_io.hpp"
 #include "store/selection_store.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -169,100 +171,6 @@ store::StoreOptions store_options_from(const Args& args,
   return options;
 }
 
-std::string fingerprint_hex(std::uint64_t fingerprint) {
-  std::ostringstream out;
-  out << std::hex << std::setw(16) << std::setfill('0') << fingerprint;
-  return out.str();
-}
-
-store::Source source_from_string(const std::string& name) {
-  if (name == "online-tuner") return store::Source::kOnlineTuner;
-  if (name == "learned-selector") return store::Source::kLearnedSelector;
-  if (name == "transfer") return store::Source::kTransfer;
-  // Hand-authored rows default to the import provenance tag.
-  return store::Source::kImported;
-}
-
-std::vector<std::string> split_csv_row(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  std::istringstream in(line);
-  while (std::getline(in, field, ',')) fields.push_back(field);
-  if (!line.empty() && line.back() == ',') fields.emplace_back();
-  return fields;
-}
-
-void export_store_csv(const store::SelectionStore& store, std::ostream& out) {
-  // Self-describing rows (leading record-type column) so import can
-  // rebuild the device profiles that make selections transferable.
-  out << std::setprecision(17);
-  for (const auto& profile : store.devices()) {
-    out << "device," << fingerprint_hex(profile.fingerprint) << ","
-        << profile.name;
-    for (const double f : profile.features) out << "," << f;
-    out << "\n";
-  }
-  const auto& configs = gemm::enumerate_configs();
-  for (const auto& record : store.selections()) {
-    out << "selection," << fingerprint_hex(record.device_fingerprint) << ","
-        << record.shape.m << "," << record.shape.k << "," << record.shape.n
-        << "," << record.config_index << ","
-        << configs[record.config_index].name() << "," << record.warmup_seconds
-        << "," << record.sweeps << "," << record.quarantined_candidates << ","
-        << to_string(record.source) << ","
-        << fingerprint_hex(record.cert_digest) << "\n";
-  }
-}
-
-std::size_t import_store_csv(std::istream& in, store::SelectionStore& store) {
-  std::size_t imported = 0;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const auto fields = split_csv_row(line);
-    if (fields[0] == "device") {
-      AKS_CHECK(fields.size() ==
-                    3 + perf::DeviceSpec::kNumSimilarityFeatures,
-                "store csv line " << line_no << ": device row needs "
-                                  << 3 + perf::DeviceSpec::kNumSimilarityFeatures
-                                  << " fields");
-      store::DeviceProfileRecord profile;
-      profile.fingerprint = std::stoull(fields[1], nullptr, 16);
-      profile.name = fields[2];
-      for (std::size_t f = 0; f < profile.features.size(); ++f) {
-        profile.features[f] = std::stod(fields[3 + f]);
-      }
-      store.put_profile(std::move(profile));
-      ++imported;
-    } else if (fields[0] == "selection") {
-      AKS_CHECK(fields.size() == 12, "store csv line "
-                                         << line_no
-                                         << ": selection row needs 12 fields");
-      store::SelectionRecord record;
-      record.device_fingerprint = std::stoull(fields[1], nullptr, 16);
-      record.shape.m = std::stoull(fields[2]);
-      record.shape.k = std::stoull(fields[3]);
-      record.shape.n = std::stoull(fields[4]);
-      record.config_index =
-          static_cast<std::uint32_t>(std::stoul(fields[5]));
-      // fields[6] is the config name, informational only.
-      record.warmup_seconds = std::stod(fields[7]);
-      record.sweeps = static_cast<std::uint32_t>(std::stoul(fields[8]));
-      record.quarantined_candidates =
-          static_cast<std::uint32_t>(std::stoul(fields[9]));
-      record.source = source_from_string(fields[10]);
-      record.cert_digest = std::stoull(fields[11], nullptr, 16);
-      if (store.put(std::move(record))) ++imported;
-    } else {
-      AKS_FAIL("store csv line " << line_no << ": unknown record type '"
-                                 << fields[0] << "'");
-    }
-  }
-  return imported;
-}
-
 int cmd_store(const Args& args) {
   AKS_CHECK(!args.positional.empty(),
             "usage: aks_tune store inspect|export|import|merge|compact ...");
@@ -286,11 +194,13 @@ int cmd_store(const Args& args) {
               << ", stale digest " << stats.rejected_digest << "\n";
     const auto& configs = gemm::enumerate_configs();
     for (const auto& profile : store.devices()) {
-      std::cout << "  device " << fingerprint_hex(profile.fingerprint) << "  "
+      std::cout << "  device " << store::fingerprint_hex(profile.fingerprint)
+                << "  "
                 << profile.name << "\n";
     }
     for (const auto& record : store.selections()) {
-      std::cout << "  " << fingerprint_hex(record.device_fingerprint) << "  "
+      std::cout << "  " << store::fingerprint_hex(record.device_fingerprint)
+                << "  "
                 << record.shape.m << "x" << record.shape.k << "x"
                 << record.shape.n << " -> "
                 << configs[record.config_index].name() << "  ("
@@ -472,6 +382,22 @@ int cmd_serve(const Args& args) {
         it->second, store_options_from(args, device));
   }
 
+  // Tracing covers everything from here on — warm start, the client loops,
+  // provisional refreshes and the final store flush all land in one file.
+  std::unique_ptr<trace::TraceSession> trace_session;
+  const auto trace_out = args.options.find("trace-out");
+  if (trace_out != args.options.end()) {
+    trace::TraceOptions trace_options;
+    if (const auto kb = args.options.find("trace-buffer-kb");
+        kb != args.options.end()) {
+      const int parsed = std::stoi(kb->second);
+      AKS_CHECK(parsed >= 1, "--trace-buffer-kb must be positive");
+      trace_options.buffer_bytes_per_thread =
+          static_cast<std::size_t>(parsed) * 1024;
+    }
+    trace_session = std::make_unique<trace::TraceSession>(trace_options);
+  }
+
   const perf::TimingModel timing(device, 0.03, 42);
   select::OnlineTuner tuner(
       allowed, [&](const gemm::KernelConfig& config,
@@ -567,6 +493,26 @@ int cmd_serve(const Args& args) {
   } else {
     service->metrics().write_csv(std::cout);
   }
+  if (trace_session) {
+    trace_session->stop();
+    {
+      std::ofstream file(trace_out->second);
+      AKS_CHECK(file.good(), "cannot open " << trace_out->second);
+      trace_session->write_chrome_json(file);
+    }
+    const auto trace_stats = trace_session->stats();
+    std::cout << "  trace: " << trace_stats.recorded << " events from "
+              << trace_stats.threads << " threads ("
+              << trace_stats.dropped
+              << " dropped) written to " << trace_out->second << "\n";
+    if (const auto summary = args.options.find("trace-summary-out");
+        summary != args.options.end()) {
+      std::ofstream file(summary->second);
+      AKS_CHECK(file.good(), "cannot open " << summary->second);
+      trace_session->write_span_summary_csv(file);
+      std::cout << "  trace summary written to " << summary->second << "\n";
+    }
+  }
   return stats.duplicate_sweeps == 0 ? 0 : 1;
 }
 
@@ -601,7 +547,10 @@ void print_usage() {
       "                      (--threads N --repeats R --serve-mode\n"
       "                      online|learned --metrics-out <csv>\n"
       "                      --store <file> to warm-start from / persist to\n"
-      "                      a selection store)\n"
+      "                      a selection store; --trace-out <json> records a\n"
+      "                      Chrome/Perfetto trace of the run, with\n"
+      "                      --trace-buffer-kb N per-thread buffering and\n"
+      "                      --trace-summary-out <csv> per-span quantiles)\n"
       "  store inspect <store>          persistent selection-store toolbox\n"
       "  store export <store> <out.csv>\n"
       "  store import <in.csv> <store>\n"
