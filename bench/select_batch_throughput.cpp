@@ -1,0 +1,125 @@
+// Batched-selection throughput gate: select_batch() exists so a framework
+// resolving kernels for a whole model graph (many layers, shared shapes)
+// pays less per shape than issuing the selects one by one. This bench
+// replays the paper's extracted shape corpus through a warm
+// serve::SelectionService and measures
+//
+//   1. the per-shape cost of sequential select() calls (baseline),
+//   2. the amortized per-shape cost of a realistic graph-build batch — the
+//      corpus repeated 4x in one vector, so 3 of every 4 inputs are
+//      deduplicated inside the batch, and
+//   3. the amortized cost of an all-unique batch (no dedup headroom),
+//      reported informationally.
+//
+// Exit status is non-zero if (2) exceeds kMaxAmortizedFraction (0.5x) of
+// (1), or if any duplicate warm-up sweep was recorded, so CI gates on this
+// binary directly alongside the trace-overhead gate. The dedup batch is the
+// gated figure because that is the shape of real graph-build traffic; the
+// all-unique batch bounds the worst case where batching can only save lock
+// acquisitions, not work.
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/online.hpp"
+#include "core/pruning.hpp"
+#include "serve/selection_service.hpp"
+
+namespace aks {
+namespace {
+
+constexpr double kMaxAmortizedFraction = 0.5;
+constexpr std::size_t kDedupRepeat = 4;
+constexpr std::size_t kRepeats = 200;
+
+int run() {
+  bench::print_banner("Batched selection: amortized per-shape latency gate",
+                      "the serving-layer extension of Section V");
+
+  const auto dataset = bench::paper_dataset();
+  const auto split = dataset.split(bench::kTrainFraction, bench::kSplitSeed);
+  select::DecisionTreePruner pruner;
+  const auto candidates = pruner.prune(split.train, 8);
+
+  std::vector<gemm::GemmShape> corpus;
+  for (const auto& lowered : data::extract_all_shapes()) {
+    corpus.push_back(lowered.shape);
+  }
+
+  const perf::TimingModel timing(perf::DeviceSpec::amd_r9_nano(), 0.03, 42);
+  select::OnlineTuner tuner(
+      candidates, [&](const gemm::KernelConfig& config,
+                      const gemm::GemmShape& shape) {
+        return timing.best_of(config, shape, 5);
+      });
+  serve::SelectionService service(tuner);
+
+  // Warm the full corpus outside every timed region: the gate compares
+  // steady-state resolution paths, not cold-start tuning.
+  (void)service.select_batch(corpus);
+
+  // (1) sequential baseline.
+  common::Timer timer;
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    for (const auto& shape : corpus) (void)service.select(shape);
+  }
+  const double single_ns = timer.elapsed_seconds() * 1e9 /
+                           static_cast<double>(kRepeats * corpus.size());
+
+  // (2) graph-build batch: corpus x4 in one vector (75% in-batch dupes).
+  std::vector<gemm::GemmShape> graph;
+  graph.reserve(corpus.size() * kDedupRepeat);
+  for (std::size_t r = 0; r < kDedupRepeat; ++r) {
+    graph.insert(graph.end(), corpus.begin(), corpus.end());
+  }
+  timer = common::Timer();
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    (void)service.select_batch(graph);
+  }
+  const double dedup_ns = timer.elapsed_seconds() * 1e9 /
+                          static_cast<double>(kRepeats * graph.size());
+
+  // (3) all-unique batch, informational.
+  timer = common::Timer();
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    (void)service.select_batch(corpus);
+  }
+  const double unique_ns = timer.elapsed_seconds() * 1e9 /
+                           static_cast<double>(kRepeats * corpus.size());
+
+  const auto stats = service.stats();
+  bench::print_row({"path", "ns/shape", "vs select()"}, 18);
+  bench::print_row({"select()", common::format_fixed(single_ns, 1),
+                    "baseline"},
+                   18);
+  bench::print_row({"batch dedup x4", common::format_fixed(dedup_ns, 1),
+                    bench::pct(dedup_ns / single_ns)},
+                   18);
+  bench::print_row({"batch all-unique", common::format_fixed(unique_ns, 1),
+                    bench::pct(unique_ns / single_ns)},
+                   18);
+  std::cout << "\nbatches " << stats.batch_requests << ", batched shapes "
+            << stats.batch_shapes << ", deduplicated " << stats.batch_dedup
+            << ", duplicate sweeps " << stats.duplicate_sweeps << "\n";
+
+  bool ok = true;
+  if (dedup_ns > kMaxAmortizedFraction * single_ns) {
+    std::cerr << "FAILED: dedup batch amortized " << dedup_ns
+              << " ns/shape exceeds " << kMaxAmortizedFraction
+              << "x of a sequential select (" << single_ns << " ns)\n";
+    ok = false;
+  }
+  if (stats.duplicate_sweeps != 0) {
+    std::cerr << "FAILED: " << stats.duplicate_sweeps
+              << " duplicate warm-up sweeps recorded\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aks
+
+int main() { return aks::run(); }

@@ -45,6 +45,19 @@ void LatencyHistogram::record_seconds(double seconds) {
   total_.add(seconds);
 }
 
+void LatencyHistogram::record_value(std::uint64_t value) {
+  // One unit == one nanosecond slot, computed directly from the integer so
+  // values sitting exactly on a power-of-two bucket edge never land one
+  // bucket off through double rounding.
+  const std::size_t index =
+      value < 2 ? 0
+                : std::min(static_cast<std::size_t>(std::bit_width(value)) - 1,
+                           kBuckets - 1);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.add(static_cast<double>(value) * 1e-9);
+}
+
 double LatencyHistogram::mean_seconds() const {
   const std::uint64_t n = count();
   return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);

@@ -64,6 +64,12 @@ class LatencyHistogram {
 
   void record_seconds(double seconds);
 
+  /// Records a dimensionless count (batch size, queue depth) into the same
+  /// power-of-two buckets, one unit per nanosecond slot: bucket i counts
+  /// values in [2^i, 2^(i+1)). Exported quantiles/means then read as plain
+  /// values after multiplying the *_seconds fields by 1e9.
+  void record_value(std::uint64_t value);
+
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }

@@ -93,6 +93,8 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) { enqueue(std::move(task)); }
+
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);

@@ -47,6 +47,14 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues one fire-and-forget task and returns immediately; tasks run
+  /// FIFO on the workers. The caller owns result/error delivery (e.g. via a
+  /// captured std::promise — see serve::SelectionService::select_async). A
+  /// posted task may itself call parallel_for on this pool (the reentrancy
+  /// guarantee covers it) and blocked parallel_for callers help-drain
+  /// posted tasks, so posting from inside a task cannot deadlock the pool.
+  void post(std::function<void()> task);
+
   /// True when the calling thread is one of this pool's workers.
   [[nodiscard]] bool on_worker_thread() const;
 

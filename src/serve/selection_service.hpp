@@ -31,7 +31,25 @@
 //    served as cross-device transfer priors: published immediately (marked
 //    provisional), then re-tuned by refresh_provisional() which atomically
 //    swaps in the locally measured answer. See DESIGN.md "Persistence &
-//    warm-start".
+//    warm-start";
+//
+//  * batched resolution — select_batch() resolves a whole vector of shapes
+//    (a graph-build wave: real frameworks pick kernels for every layer at
+//    once, not per inference call) in one pass: inputs are deduplicated,
+//    grouped by shard so each shard lock is taken once per batch, cold
+//    misses are coalesced into a single warm-up wave that runs through the
+//    same single-flight entries select() uses, and the wave's store
+//    write-behind is one batched enqueue instead of one put per shape.
+//    Results come back in input order and are bit-identical to sequential
+//    select() calls (tests/serve_batch_equivalence_test.cpp holds the
+//    property). See DESIGN.md "Batched & async selection";
+//
+//  * async resolution — select_async()/select_batch_async() run the same
+//    code on the reentrancy-safe common::ThreadPool and hand back a
+//    std::future, so callers overlap warm-up sweeps with graph
+//    construction. Deadlock-free by construction: a single-flight leader is
+//    always already running when any waiter exists, and it completes
+//    without needing another pool slot.
 #pragma once
 
 #include <atomic>
@@ -39,9 +57,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +70,10 @@
 #include "gemm/shape.hpp"
 #include "perfmodel/device_spec.hpp"
 
+namespace aks::common {
+class ThreadPool;
+}  // namespace aks::common
+
 namespace aks::select {
 class KernelSelector;
 class OnlineTuner;
@@ -57,6 +81,7 @@ class OnlineTuner;
 
 namespace aks::store {
 class SelectionStore;
+struct SelectionRecord;
 enum class Source : std::uint8_t;
 }  // namespace aks::store
 
@@ -72,6 +97,9 @@ struct ServiceOptions {
   /// request for the shape retries the warm-up. When unset (the default),
   /// warm-up errors propagate to all callers as before.
   std::optional<gemm::KernelConfig> fallback;
+  /// Pool running select_async()/select_batch_async() work (must outlive
+  /// the service). Null means common::ThreadPool::global().
+  common::ThreadPool* async_pool = nullptr;
 };
 
 /// Snapshot of the service counters (each individually monotonic).
@@ -96,7 +124,18 @@ struct ServiceStats {
   std::uint64_t transfer_priors = 0;
   /// Provisional (transferred) answers replaced by a locally tuned one.
   std::uint64_t provisional_refreshes = 0;
-  /// Wall seconds spent inside the warm-up function.
+  /// select_batch() calls (select_batch_async counts here on completion).
+  std::uint64_t batch_requests = 0;
+  /// Input shapes across every batch (before deduplication).
+  std::uint64_t batch_shapes = 0;
+  /// Batch inputs answered by an earlier occurrence in the same batch —
+  /// batch_dedup / batch_shapes is the dedup ratio.
+  std::uint64_t batch_dedup = 0;
+  /// Cold shapes warmed inside batch miss waves (a subset of misses).
+  std::uint64_t batch_wave_shapes = 0;
+  /// Wall seconds of the cold path: warm-up function plus result publish
+  /// plus the store write-behind enqueue (the full cost a miss adds over a
+  /// hit — see the warm-vs-cold regression test).
   double warmup_seconds = 0.0;
   /// Shapes currently cached (including in-flight entries).
   std::size_t cached_shapes = 0;
@@ -124,6 +163,31 @@ class SelectionService {
 
   /// Thread-safe: the kernel configuration to use for `shape`.
   [[nodiscard]] gemm::KernelConfig select(const gemm::GemmShape& shape);
+
+  /// Thread-safe batched resolution: the configuration for every shape in
+  /// `shapes`, in input order, bit-identical to calling select() on each
+  /// element sequentially. Duplicates are deduplicated, warm shapes are
+  /// answered under one shard lock per shard touched, and cold shapes are
+  /// warmed in one wave — in first-occurrence input order, through the same
+  /// single-flight entries as select(), with the store write-behind
+  /// enqueued once per wave. A warm-up failure degrades only that shape
+  /// (fallback when configured); without a fallback the wave still
+  /// completes — so no entry is ever left in flight — and the first error
+  /// in input order is then rethrown.
+  [[nodiscard]] std::vector<gemm::KernelConfig> select_batch(
+      std::span<const gemm::GemmShape> shapes);
+
+  /// select() on the async pool: returns immediately with a future that
+  /// yields the selection (or rethrows the warm-up error). Lets callers
+  /// overlap warm-up sweeps with graph construction. In-flight futures must
+  /// be waited out before the service is destroyed.
+  [[nodiscard]] std::future<gemm::KernelConfig> select_async(
+      const gemm::GemmShape& shape);
+
+  /// select_batch() on the async pool (one task for the whole batch, so the
+  /// wave coalescing is preserved).
+  [[nodiscard]] std::future<std::vector<gemm::KernelConfig>>
+  select_batch_async(std::vector<gemm::GemmShape> shapes);
 
   /// Attaches a persistent store (must outlive the service) and pre-seeds
   /// the cache with every stored selection for `device`'s fingerprint —
@@ -188,22 +252,34 @@ class SelectionService {
   };
 
   [[nodiscard]] Shard& shard_for(const gemm::GemmShape& shape);
-  [[nodiscard]] gemm::KernelConfig run_warm_up(const gemm::GemmShape& shape,
-                                               Shard& shard,
-                                               const std::shared_ptr<Entry>& entry);
+  /// Leader path: runs the warm-up, publishes the entry, and accounts the
+  /// cold cost. When `wave_records` is set (the batch path) the store
+  /// write-behind record is appended there for one batched enqueue instead
+  /// of being put per shape.
+  [[nodiscard]] gemm::KernelConfig run_warm_up(
+      const gemm::GemmShape& shape, Shard& shard,
+      const std::shared_ptr<Entry>& entry,
+      std::vector<store::SelectionRecord>* wave_records = nullptr);
   /// Leader-path store consult: true when a transfer prior was published
   /// into `entry` (the warm-up sweep is then skipped for this request).
   [[nodiscard]] bool try_transfer_prior(const gemm::GemmShape& shape,
                                         const std::shared_ptr<Entry>& entry);
+  /// The store record for a locally tuned decision, or nullopt for a
+  /// non-canonical config (custom warm-up fn): nothing to persist.
+  [[nodiscard]] std::optional<store::SelectionRecord> make_record(
+      const gemm::GemmShape& shape, const gemm::KernelConfig& config,
+      double seconds) const;
   /// Write-behind: records a locally tuned decision in the attached store.
   void record_to_store(const gemm::GemmShape& shape,
                        const gemm::KernelConfig& config, double seconds);
+  [[nodiscard]] common::ThreadPool& async_pool() const;
   /// Folds the per-shard hit counts into the registry's serve.hits counter
   /// (serialized so concurrent observers never double-add a delta).
   void sync_hits() const;
 
   WarmUpFn warm_up_;
   std::optional<gemm::KernelConfig> fallback_;
+  common::ThreadPool* async_pool_ = nullptr;
   /// Set by the OnlineTuner constructor so warm_start() can pre-seed the
   /// tuner's own cache alongside the service cache.
   select::OnlineTuner* tuner_ = nullptr;
@@ -232,9 +308,17 @@ class SelectionService {
   common::Counter& preloaded_;
   common::Counter& transfer_priors_;
   common::Counter& provisional_refreshes_;
+  common::Counter& batch_requests_;
+  common::Counter& batch_shapes_;
+  common::Counter& batch_dedup_;
+  common::Counter& batch_wave_shapes_;
   common::Accumulator& warmup_seconds_;
   common::LatencyHistogram& select_latency_;
   common::LatencyHistogram& warmup_latency_;
+  /// Batch sizes (record_value: power-of-two count buckets).
+  common::LatencyHistogram& batch_size_;
+  /// Per-shape amortized select_batch latency (batch wall time / shapes).
+  common::LatencyHistogram& batch_amortized_latency_;
 };
 
 }  // namespace aks::serve

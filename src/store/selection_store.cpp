@@ -128,6 +128,16 @@ bool SelectionStore::put(SelectionRecord record) {
   return put_locked(std::move(record), /*from_load=*/false);
 }
 
+std::size_t SelectionStore::put_batch(std::vector<SelectionRecord> records) {
+  if (records.empty()) return 0;
+  std::lock_guard lock(mutex_);
+  std::size_t accepted = 0;
+  for (SelectionRecord& record : records) {
+    if (put_locked(std::move(record), /*from_load=*/false)) ++accepted;
+  }
+  return accepted;
+}
+
 void SelectionStore::put_device(const perf::DeviceSpec& spec) {
   put_profile(DeviceProfileRecord::from_spec(spec));
 }

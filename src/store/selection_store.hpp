@@ -114,6 +114,13 @@ class SelectionStore {
   /// index is out of range or fails the certificate gate.
   bool put(SelectionRecord record);
 
+  /// Upserts a whole wave of selections under one lock acquisition — the
+  /// write-behind path for serve::SelectionService::select_batch, which
+  /// enqueues the records of a cold miss wave together instead of taking
+  /// the store mutex once per shape. Same per-record validation as put();
+  /// returns how many records were accepted.
+  std::size_t put_batch(std::vector<SelectionRecord> records);
+
   /// Upserts the device profile that makes this fingerprint transferable.
   void put_device(const perf::DeviceSpec& spec);
   /// Upserts a raw persisted profile (import/merge path; prefer put_device

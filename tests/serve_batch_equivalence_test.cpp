@@ -1,0 +1,280 @@
+// Batched selection equivalence: select_batch() must be observationally
+// identical to calling select() once per element, in input order, on a
+// fresh twin service — bit-identical configs, matching hit/miss/fallback
+// accounting, and zero duplicate sweeps — across randomized shape vectors
+// mixing duplicates, permutations, cold/warm state and injected faults.
+// The acceptance bar for the batch API is >= 1000 randomized vectors
+// across this suite (the per-test counts below sum past it).
+//
+// Suite name SelectionServiceBatch is matched by the CI sanitize/tsan
+// filters (SelectionService[A-Za-z]*).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/online.hpp"
+#include "faults/injector.hpp"
+#include "gemm/config.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "serve/selection_service.hpp"
+
+namespace aks::serve {
+namespace {
+
+std::vector<gemm::GemmShape> shape_pool() {
+  std::vector<gemm::GemmShape> shapes;
+  for (std::size_t i = 0; i < 24; ++i) {
+    shapes.push_back(
+        {32 + 16 * i, 64 + 8 * ((i * 5) % 13), 32 + 32 * ((i * 3) % 7)});
+  }
+  return shapes;
+}
+
+/// Deterministic cheap warm-up: the winner is a pure function of the shape,
+/// so twin services must agree bit-for-bit however their calls interleave.
+gemm::KernelConfig pure_config(const gemm::GemmShape& shape) {
+  const auto& configs = gemm::enumerate_configs();
+  return configs[(shape.m * 31 + shape.k * 7 + shape.n) % configs.size()];
+}
+
+/// A random vector over a window of the pool: narrow windows force heavy
+/// duplication, wide ones mostly-unique batches. Sizes 0..32 include the
+/// empty batch.
+std::vector<gemm::GemmShape> random_vector(
+    common::Rng& rng, const std::vector<gemm::GemmShape>& pool) {
+  const std::size_t size = rng.uniform_index(33);
+  const std::size_t window = 1 + rng.uniform_index(pool.size());
+  std::vector<gemm::GemmShape> v;
+  v.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    v.push_back(pool[rng.uniform_index(window)]);
+  }
+  return v;
+}
+
+/// Runs `rounds` random vectors against a (batched, sequential) twin pair,
+/// asserting per-element bit-identity and accounting parity. Counts the
+/// vectors exercised into `vectors` (out-param: ASSERT_* needs void return).
+void run_twin_rounds(SelectionService& batched, SelectionService& sequential,
+                     common::Rng& rng,
+                     const std::vector<gemm::GemmShape>& pool,
+                     std::size_t rounds, std::size_t& vectors) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Cold/warm mix: sometimes pre-warm a random subset through the plain
+    // path on both twins before the batch sees it.
+    if (rng.uniform() < 0.4) {
+      const std::size_t warm = rng.uniform_index(pool.size() + 1);
+      for (std::size_t i = 0; i < warm; ++i) {
+        const auto& shape = pool[rng.uniform_index(pool.size())];
+        (void)batched.select(shape);
+        (void)sequential.select(shape);
+      }
+    }
+    const auto v = random_vector(rng, pool);
+    const auto got = batched.select_batch(v);
+    ASSERT_EQ(got.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const auto expected = sequential.select(v[i]);
+      ASSERT_EQ(gemm::config_index(got[i]), gemm::config_index(expected))
+          << "position " << i << " of a " << v.size() << "-shape batch "
+          << "diverged from sequential select";
+    }
+    ++vectors;
+  }
+  const auto b = batched.stats();
+  const auto s = sequential.stats();
+  EXPECT_EQ(b.duplicate_sweeps, 0u);
+  EXPECT_EQ(s.duplicate_sweeps, 0u);
+  EXPECT_EQ(b.misses, s.misses) << "batch warmed a different shape set";
+  EXPECT_EQ(b.hits, s.hits) << "batch hit accounting diverged";
+  EXPECT_EQ(b.fallbacks_served, s.fallbacks_served);
+  EXPECT_EQ(b.cached_shapes, s.cached_shapes);
+}
+
+TEST(SelectionServiceBatch, MatchesSequentialSelectOverRandomVectors) {
+  const auto pool = shape_pool();
+  common::Rng rng(0xba7c4);
+  std::size_t vectors = 0;
+  for (std::size_t trial = 0; trial < 140; ++trial) {
+    SelectionService batched(pure_config);
+    SelectionService sequential(pure_config);
+    run_twin_rounds(batched, sequential, rng, pool, 5, vectors);
+  }
+  EXPECT_GE(vectors, 700u);
+}
+
+TEST(SelectionServiceBatch, PermutedBatchesPreserveInputOrderMapping) {
+  // Against a single service: a permutation of a just-resolved batch must
+  // map every position to the config its shape received the first time —
+  // out[i] always belongs to shapes[i], whatever order the wave ran in.
+  const auto pool = shape_pool();
+  common::Rng rng(0x9e37);
+  std::size_t vectors = 0;
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    SelectionService service(pure_config);
+    auto v = random_vector(rng, pool);
+    const auto first = service.select_batch(v);
+    std::map<gemm::GemmShape, std::size_t> by_shape;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      by_shape[v[i]] = gemm::config_index(first[i]);
+    }
+    rng.shuffle(v);
+    const auto second = service.select_batch(v);
+    ASSERT_EQ(second.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(gemm::config_index(second[i]), by_shape.at(v[i]))
+          << "permuted position " << i << " lost its shape's answer";
+    }
+    EXPECT_EQ(service.stats().duplicate_sweeps, 0u);
+    vectors += 2;
+  }
+  EXPECT_GE(vectors, 200u);
+}
+
+TEST(SelectionServiceBatch, MatchesSequentialUnderTunerFaultPlan) {
+  // Twin OnlineTuners under a canned fault plan: trial faults are keyed on
+  // (shape, candidate, attempt), so twins degrade identically as long as
+  // the batch warms shapes in the same order a sequential caller would.
+  faults::FaultPlan plan;
+  plan.seed = 77;
+  plan.at(faults::Site::kWarmUpTrial).launch_failure = 0.3;
+  faults::ScopedFaultPlan install(plan);
+
+  const auto pool = shape_pool();
+  const std::vector<std::size_t> candidates = {0, 100, 250, 400, 639};
+  const auto timer =
+      [timing = perf::TimingModel(perf::DeviceSpec::amd_r9_nano(), 0.0)](
+          const gemm::KernelConfig& config, const gemm::GemmShape& shape) {
+        return timing.best_of(config, shape, 3);
+      };
+  common::Rng rng(0xfa17);
+  std::size_t vectors = 0;
+  for (std::size_t trial = 0; trial < 30; ++trial) {
+    select::OnlineTuner tuner_b(candidates, timer);
+    select::OnlineTuner tuner_s(candidates, timer);
+    ServiceOptions options_b;
+    options_b.fallback = tuner_b.fallback_config();
+    ServiceOptions options_s;
+    options_s.fallback = tuner_s.fallback_config();
+    SelectionService batched(tuner_b, options_b);
+    SelectionService sequential(tuner_s, options_s);
+    run_twin_rounds(batched, sequential, rng, pool, 5, vectors);
+  }
+  EXPECT_GE(vectors, 150u);
+}
+
+TEST(SelectionServiceBatch, MatchesSequentialUnderThrowingWarmUps) {
+  // A warm-up that *throws* on injected faults, keyed per (shape, attempt)
+  // through a per-service attempt ledger: a shape can fail its first
+  // warm-up and succeed a retry, exercising the degraded-duplicate path
+  // (later occurrences of a failed shape must re-select, exactly like a
+  // sequential caller whose failed entry was dropped).
+  faults::FaultPlan plan;
+  plan.seed = 191;
+  plan.at(faults::Site::kWarmUpTrial).launch_failure = 0.4;
+  faults::ScopedFaultPlan install(plan);
+
+  struct AttemptLedger {
+    std::mutex m;
+    std::map<gemm::GemmShape, std::uint64_t> attempts;
+  };
+  const auto make_warm_up = [](const std::shared_ptr<AttemptLedger>& ledger) {
+    return [ledger](const gemm::GemmShape& shape) -> gemm::KernelConfig {
+      std::uint64_t attempt = 0;
+      {
+        std::lock_guard lock(ledger->m);
+        attempt = ledger->attempts[shape]++;
+      }
+      faults::FaultScope scope(
+          faults::site_bit(faults::Site::kWarmUpTrial),
+          faults::mix_key(shape.m, shape.k, shape.n, attempt));
+      if (faults::probe(faults::Site::kWarmUpTrial)) {
+        throw faults::LaunchFailure("injected warm-up failure");
+      }
+      return pure_config(shape);
+    };
+  };
+
+  const auto pool = shape_pool();
+  const auto fallback = gemm::enumerate_configs()[42];
+  common::Rng rng(0x5eed);
+  std::size_t vectors = 0;
+  for (std::size_t trial = 0; trial < 30; ++trial) {
+    ServiceOptions options;
+    options.fallback = fallback;
+    SelectionService batched(make_warm_up(std::make_shared<AttemptLedger>()),
+                             options);
+    SelectionService sequential(
+        make_warm_up(std::make_shared<AttemptLedger>()), options);
+    run_twin_rounds(batched, sequential, rng, pool, 5, vectors);
+  }
+  EXPECT_GE(vectors, 150u);
+}
+
+TEST(SelectionServiceBatch, AsyncVariantsAgreeWithSynchronous) {
+  const auto pool = shape_pool();
+  SelectionService service(pure_config);
+  std::vector<std::future<gemm::KernelConfig>> futures;
+  futures.reserve(pool.size());
+  for (const auto& shape : pool) futures.push_back(service.select_async(shape));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(gemm::config_index(futures[i].get()),
+              gemm::config_index(pure_config(pool[i])));
+  }
+
+  std::vector<gemm::GemmShape> batch(pool.begin(), pool.begin() + 12);
+  batch.insert(batch.end(), pool.begin(), pool.begin() + 12);  // duplicates
+  auto future = service.select_batch_async(batch);
+  const auto got = future.get();
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(gemm::config_index(got[i]),
+              gemm::config_index(pure_config(batch[i])));
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.duplicate_sweeps, 0u);
+  EXPECT_EQ(stats.batch_requests, 1u);
+  EXPECT_EQ(stats.batch_shapes, batch.size());
+  EXPECT_EQ(stats.batch_dedup, 12u);
+}
+
+TEST(SelectionServiceBatch, BatchStatsAccounting) {
+  const auto pool = shape_pool();
+  SelectionService service(pure_config);
+  // 8 uniques, each three times: 16 deduplicated, 8 wave-warmed.
+  std::vector<gemm::GemmShape> batch;
+  for (std::size_t rep = 0; rep < 3; ++rep) {
+    for (std::size_t i = 0; i < 8; ++i) batch.push_back(pool[i]);
+  }
+  const auto out = service.select_batch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  auto stats = service.stats();
+  EXPECT_EQ(stats.batch_requests, 1u);
+  EXPECT_EQ(stats.batch_shapes, 24u);
+  EXPECT_EQ(stats.batch_dedup, 16u);
+  EXPECT_EQ(stats.batch_wave_shapes, 8u);
+  EXPECT_EQ(stats.misses, 8u);
+  EXPECT_EQ(stats.hits, 16u);
+
+  // A second, fully warm batch adds no wave and all-hit accounting; the
+  // empty batch counts a request and nothing else.
+  (void)service.select_batch(batch);
+  (void)service.select_batch(std::vector<gemm::GemmShape>{});
+  stats = service.stats();
+  EXPECT_EQ(stats.batch_requests, 3u);
+  EXPECT_EQ(stats.batch_shapes, 48u);
+  EXPECT_EQ(stats.batch_wave_shapes, 8u);
+  EXPECT_EQ(stats.misses, 8u);
+  EXPECT_EQ(stats.hits, 40u);
+  EXPECT_EQ(stats.duplicate_sweeps, 0u);
+}
+
+}  // namespace
+}  // namespace aks::serve

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "faults/injector.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "serve/selection_service.hpp"
+#include "store/selection_store.hpp"
 
 namespace aks::serve {
 namespace {
@@ -161,6 +164,71 @@ TEST(SelectionService, NoFallbackConfiguredStillPropagatesErrors) {
         throw common::Error("warm-up exploded");
       });
   EXPECT_THROW((void)service.select({32, 32, 32}), common::Error);
+}
+
+TEST(SelectionService, BatchWaveFaultDegradesOnlyFailingShape) {
+  // One shape inside a cold select_batch() wave fails its warm-up: only
+  // that shape is served the fallback, every other wave member gets its
+  // tuned answer, and the degraded shape is neither cached nor persisted —
+  // the store's write-behind wave holds records for the healthy shapes
+  // only.
+  faults::ScopedFaultPlan install(warmup_failure_plan(1.0));
+  const auto shapes = test_shapes(8);
+  const auto& bad = shapes[3];
+  const auto fallback = gemm::enumerate_configs()[42];
+
+  ServiceOptions options;
+  options.fallback = fallback;
+  SelectionService service(
+      [&bad](const gemm::GemmShape& shape) -> gemm::KernelConfig {
+        if (shape == bad) {
+          faults::FaultScope scope(
+              faults::site_bit(faults::Site::kWarmUpTrial),
+              faults::mix_key(shape.m, shape.k, shape.n));
+          if (faults::probe(faults::Site::kWarmUpTrial)) {
+            throw faults::LaunchFailure("injected warm-up failure");
+          }
+        }
+        const auto& configs = gemm::enumerate_configs();
+        return configs[(shape.m * 31 + shape.k * 7 + shape.n) %
+                       configs.size()];
+      },
+      options);
+
+  const auto store_path = std::filesystem::temp_directory_path() /
+                          "aks_batch_wave_fault.journal";
+  std::filesystem::remove(store_path);
+  store::SelectionStore store(store_path);
+  (void)service.warm_start(store, perf::DeviceSpec::amd_r9_nano());
+
+  const auto out = service.select_batch(shapes);
+  ASSERT_EQ(out.size(), shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const auto& configs = gemm::enumerate_configs();
+    const auto expected =
+        s == 3 ? fallback
+               : configs[(shapes[s].m * 31 + shapes[s].k * 7 + shapes[s].n) %
+                         configs.size()];
+    EXPECT_EQ(gemm::config_index(out[s]), gemm::config_index(expected))
+        << "shape " << s << " got the wrong answer";
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.warmup_failures, 1u);
+  EXPECT_EQ(stats.fallbacks_served, 1u);
+  EXPECT_EQ(stats.batch_wave_shapes, shapes.size());
+  // The degraded shape is not cached: a later request retries its warm-up.
+  EXPECT_EQ(stats.cached_shapes, shapes.size() - 1);
+
+  // Nothing degraded is persisted: the wave's one write-behind enqueue
+  // carries the seven healthy records and no record for the failed shape.
+  const auto records = store.selections();
+  EXPECT_EQ(records.size(), shapes.size() - 1);
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.shape == bad)
+        << "fallback decision leaked into the store";
+  }
+  std::filesystem::remove(store_path);
 }
 
 TEST(OnlineTunerConcurrency, QuarantineEngagesAfterConsecutiveFailures) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <set>
@@ -14,10 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "core/online.hpp"
 #include "gemm/config.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "serve/selection_service.hpp"
+#include "store/selection_store.hpp"
 
 namespace aks::serve {
 namespace {
@@ -287,6 +290,47 @@ TEST(SelectionService, MetricsExportToCsv) {
   EXPECT_NE(csv.find("serve.warmup_latency,histogram,count,4"),
             std::string::npos);
   EXPECT_NE(csv.find("serve.warmup_seconds,accumulator"), std::string::npos);
+}
+
+TEST(SelectionService, ColdPathLedgerCoversPublishAndStoreEnqueue) {
+  // Regression for a miss-path metrics bug: warm-up latency used to be
+  // sampled right after the warm-up function returned, *before* the result
+  // publish and the store write-behind enqueue — undercounting the cold
+  // cost a miss actually adds over a hit. With an instant warm-up function
+  // and an attached store, the honestly-sampled cold mean must be at least
+  // the measured warm mean: the cold path does a strict superset of the
+  // warm path's work (entry allocation, publish, record validation and
+  // store insert). Pre-fix, the cold sample was just the trivial function
+  // call and sat well below a warm cache hit.
+  const auto store_path = std::filesystem::temp_directory_path() /
+                          "aks_warm_le_cold.journal";
+  std::filesystem::remove(store_path);
+  store::SelectionStore store(store_path);
+
+  SelectionService service([](const gemm::GemmShape&) {
+    return gemm::enumerate_configs()[0];
+  });
+  (void)service.warm_start(store, perf::DeviceSpec::amd_r9_nano());
+
+  const auto shapes = test_shapes(512);
+  for (const auto& shape : shapes) (void)service.select(shape);  // all cold
+
+  // Prime, then time one full warm pass.
+  for (const auto& shape : shapes) (void)service.select(shape);
+  common::Timer timer;
+  for (const auto& shape : shapes) (void)service.select(shape);
+  const double warm_mean =
+      timer.elapsed_seconds() / static_cast<double>(shapes.size());
+
+  const auto stats = service.stats();
+  ASSERT_GE(stats.misses, shapes.size());
+  const double cold_mean =
+      stats.warmup_seconds / static_cast<double>(stats.misses);
+  EXPECT_LE(warm_mean, cold_mean)
+      << "cold-path ledger (" << cold_mean * 1e9
+      << " ns/miss) undercounts: a warm hit measured " << warm_mean * 1e9
+      << " ns — the miss sample must cover publish + store enqueue";
+  std::filesystem::remove(store_path);
 }
 
 }  // namespace

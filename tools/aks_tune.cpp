@@ -359,6 +359,16 @@ int cmd_serve(const Args& args) {
     AKS_CHECK(parsed >= 1, "--repeats must be positive");
     repeats = static_cast<std::size_t>(parsed);
   }
+  // 0 (default) = per-request select(); N >= 1 = clients resolve their
+  // shuffled pass in select_batch() chunks of N, like a framework picking
+  // kernels for a whole graph at once.
+  std::size_t batch_size = 0;
+  if (const auto it = args.options.find("batch-size");
+      it != args.options.end()) {
+    const int parsed = std::stoi(it->second);
+    AKS_CHECK(parsed >= 0, "--batch-size must be >= 0");
+    batch_size = static_cast<std::size_t>(parsed);
+  }
   const auto mode_it = args.options.find("serve-mode");
   const std::string mode =
       mode_it == args.options.end() ? "online" : mode_it->second;
@@ -429,7 +439,9 @@ int cmd_serve(const Args& args) {
   }
 
   std::cerr << "serving " << corpus.size() << " shapes x " << repeats
-            << " repeats on " << threads << " threads (" << mode << ")...\n";
+            << " repeats on " << threads << " threads (" << mode;
+  if (batch_size > 0) std::cerr << ", batches of " << batch_size;
+  std::cerr << ")...\n";
   common::Timer timer;
   std::vector<std::thread> clients;
   for (std::size_t t = 0; t < threads; ++t) {
@@ -437,9 +449,21 @@ int cmd_serve(const Args& args) {
       common::Rng rng(0xab5 + t);
       std::vector<std::size_t> order(corpus.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::vector<gemm::GemmShape> batch;
       for (std::size_t rep = 0; rep < repeats; ++rep) {
         rng.shuffle(order);
-        for (const std::size_t s : order) (void)service->select(corpus[s]);
+        if (batch_size == 0) {
+          for (const std::size_t s : order) (void)service->select(corpus[s]);
+          continue;
+        }
+        for (std::size_t at = 0; at < order.size(); at += batch_size) {
+          batch.clear();
+          const std::size_t end = std::min(at + batch_size, order.size());
+          for (std::size_t i = at; i < end; ++i) {
+            batch.push_back(corpus[order[i]]);
+          }
+          (void)service->select_batch(batch);
+        }
       }
     });
   }
@@ -461,6 +485,11 @@ int cmd_serve(const Args& args) {
             << ", duplicate sweeps " << stats.duplicate_sweeps << "\n"
             << "  cached shapes " << stats.cached_shapes
             << ", warm-up seconds " << stats.warmup_seconds << "\n";
+  if (batch_size > 0) {
+    std::cout << "  batches " << stats.batch_requests << ", batched shapes "
+              << stats.batch_shapes << ", deduplicated " << stats.batch_dedup
+              << ", wave-warmed " << stats.batch_wave_shapes << "\n";
+  }
   if (store) {
     std::cout << "  store: preloaded " << stats.preloaded
               << ", transfer priors " << stats.transfer_priors
@@ -546,6 +575,9 @@ void print_usage() {
       "  serve               replay the corpus through the serving layer\n"
       "                      (--threads N --repeats R --serve-mode\n"
       "                      online|learned --metrics-out <csv>\n"
+      "                      --batch-size N to resolve each pass through\n"
+      "                      select_batch() in chunks of N (0 = per-request\n"
+      "                      select(), the default)\n"
       "                      --store <file> to warm-start from / persist to\n"
       "                      a selection store; --trace-out <json> records a\n"
       "                      Chrome/Perfetto trace of the run, with\n"
