@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace aks::common {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes whole lines onto std::cerr; leaf lock, nothing is acquired
+// under it.
+aks::Mutex g_mutex{"log.stream"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,7 +33,7 @@ LogLevel log_level() {
 }
 
 void log_message(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_mutex);
+  aks::MutexLock lock(g_mutex);
   std::cerr << "[aks:" << level_name(level) << "] " << message << "\n";
 }
 

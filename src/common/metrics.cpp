@@ -85,7 +85,7 @@ double LatencyHistogram::quantile_seconds(double q) const {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   check_metric_name(name);
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -93,7 +93,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Accumulator& MetricsRegistry::accumulator(const std::string& name) {
   check_metric_name(name);
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   auto& slot = accumulators_[name];
   if (!slot) slot = std::make_unique<Accumulator>();
   return *slot;
@@ -101,14 +101,14 @@ Accumulator& MetricsRegistry::accumulator(const std::string& name) {
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
   check_metric_name(name);
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 void MetricsRegistry::write_csv(std::ostream& out) const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   out << "name,kind,field,value\n";
   for (const auto& [name, c] : counters_) {
     out << name << ",counter,value," << c->value() << "\n";

@@ -13,10 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 
 namespace aks::common {
@@ -124,10 +125,16 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_csv() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Accumulator>> accumulators_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  // Guards the name → instrument maps only; the instruments themselves are
+  // lock-free and deliberately NOT guarded (their stable addresses are the
+  // whole point). Leaf lock: nothing is acquired under it.
+  mutable aks::Mutex mutex_{"metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      AKS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Accumulator>> accumulators_
+      AKS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      AKS_GUARDED_BY(mutex_);
 };
 
 }  // namespace aks::common

@@ -28,10 +28,10 @@ struct ThreadPool::ParallelJob {
   std::size_t count = 0;
   std::size_t per_chunk = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  aks::Mutex done_mutex{"pool.job.done"};
+  aks::CondVar done_cv;
+  aks::Mutex error_mutex{"pool.job.error"};
+  std::exception_ptr error AKS_GUARDED_BY(error_mutex);
 
   [[nodiscard]] bool finished() const {
     return done.load(std::memory_order_acquire) == chunks;
@@ -46,11 +46,11 @@ struct ThreadPool::ParallelJob {
       try {
         for (std::size_t i = begin; i < end; ++i) (*fn)(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        aks::MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        std::lock_guard lock(done_mutex);
+        aks::MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     }
@@ -69,7 +69,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    aks::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -83,8 +83,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      aks::MutexLock lock(mutex_);
+      // Explicit predicate loop (not cv.wait(lock, pred)): thread-safety
+      // analysis treats lambdas as separate functions, so the inline form
+      // keeps the guarded reads visible to the checker.
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -97,7 +100,7 @@ void ThreadPool::post(std::function<void()> task) { enqueue(std::move(task)); }
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    aks::MutexLock lock(mutex_);
     AKS_CHECK(!stopping_, "enqueue on stopped thread pool");
     tasks_.push(std::move(task));
   }
@@ -107,7 +110,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 bool ThreadPool::try_run_one_task() {
   std::function<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    aks::MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
@@ -147,16 +150,25 @@ void ThreadPool::parallel_for(std::size_t count,
       // timed wait when the queue is empty.
       while (!job->finished()) {
         if (try_run_one_task()) continue;
-        std::unique_lock lock(job->done_mutex);
-        job->done_cv.wait_for(lock, std::chrono::microseconds(200),
-                              [&job] { return job->finished(); });
+        aks::MutexLock lock(job->done_mutex);
+        if (!job->finished()) {
+          job->done_cv.wait_for(lock, std::chrono::microseconds(200));
+        }
       }
     } else {
-      std::unique_lock lock(job->done_mutex);
-      job->done_cv.wait(lock, [&job] { return job->finished(); });
+      aks::MutexLock lock(job->done_mutex);
+      while (!job->finished()) job->done_cv.wait(lock);
     }
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // Snapshot under error_mutex: run_chunks writes `error` under the same
+  // lock, and the final writer may be a helper task whose only
+  // happens-before edge to us is the done counter (see run_chunks).
+  std::exception_ptr error;
+  {
+    aks::MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -18,13 +18,14 @@
 // deadlocked once every worker sat in a nested wait.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace aks::common {
 
@@ -71,10 +72,13 @@ class ThreadPool {
   bool try_run_one_task();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // Guards the task queue and the stop flag; workers block on cv_ with only
+  // this lock held. Leaf lock by construction: enqueue/pop never call user
+  // code under it (tasks run after the guard scope closes).
+  aks::Mutex mutex_{"pool.queue"};
+  std::queue<std::function<void()>> tasks_ AKS_GUARDED_BY(mutex_);
+  aks::CondVar cv_;
+  bool stopping_ AKS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace aks::common

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "faults/injector.hpp"
@@ -39,7 +38,7 @@ OnlineTuner::OnlineTuner(std::vector<std::size_t> candidates, TimerFn timer,
 
 gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
   {
-    std::shared_lock lock(mutex_);
+    aks::ReaderMutexLock lock(mutex_);
     const auto it = cache_.find(shape);
     if (it != cache_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +51,7 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
   // fallback) is eligible by construction.
   std::vector<bool> eligible(candidates_.size(), true);
   {
-    std::shared_lock lock(mutex_);
+    aks::ReaderMutexLock lock(mutex_);
     for (std::size_t i = 1; i < health_.size(); ++i) {
       eligible[i] = !health_[i].quarantined;
     }
@@ -145,7 +144,7 @@ gemm::KernelConfig OnlineTuner::select(const gemm::GemmShape& shape) {
     sweep_span.annotate(trace::arg("outcome", "degraded"));
   }
 
-  std::unique_lock lock(mutex_);
+  aks::WriterMutexLock lock(mutex_);
   if (options_.quarantine_threshold > 0) {
     for (std::size_t i = 1; i < candidates_.size(); ++i) {
       if (!eligible[i]) continue;
@@ -173,13 +172,13 @@ bool OnlineTuner::preseed(const gemm::GemmShape& shape,
       candidates_.end()) {
     return false;
   }
-  std::unique_lock lock(mutex_);
+  aks::WriterMutexLock lock(mutex_);
   return cache_.emplace(shape, canonical_index).second;
 }
 
 std::vector<std::pair<gemm::GemmShape, std::size_t>> OnlineTuner::snapshot()
     const {
-  std::shared_lock lock(mutex_);
+  aks::ReaderMutexLock lock(mutex_);
   return {cache_.begin(), cache_.end()};
 }
 
@@ -188,12 +187,12 @@ gemm::KernelConfig OnlineTuner::fallback_config() const {
 }
 
 std::size_t OnlineTuner::cached_shapes() const {
-  std::shared_lock lock(mutex_);
+  aks::ReaderMutexLock lock(mutex_);
   return cache_.size();
 }
 
 std::vector<std::size_t> OnlineTuner::quarantined() const {
-  std::shared_lock lock(mutex_);
+  aks::ReaderMutexLock lock(mutex_);
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
     if (health_[i].quarantined) out.push_back(candidates_[i]);
@@ -203,7 +202,7 @@ std::vector<std::size_t> OnlineTuner::quarantined() const {
 }
 
 bool OnlineTuner::is_quarantined(std::size_t canonical_index) const {
-  std::shared_lock lock(mutex_);
+  aks::ReaderMutexLock lock(mutex_);
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
     if (candidates_[i] == canonical_index) return health_[i].quarantined;
   }

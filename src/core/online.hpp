@@ -37,10 +37,11 @@
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "gemm/config.hpp"
 #include "gemm/shape.hpp"
 
@@ -126,10 +127,14 @@ class OnlineTuner {
   std::vector<std::size_t> candidates_;
   TimerFn timer_;
   TunerOptions options_;
-  mutable std::shared_mutex mutex_;
-  std::map<gemm::GemmShape, std::size_t> cache_;
-  /// Health per candidate (by position in candidates_); guarded by mutex_.
-  std::vector<CandidateHealth> health_;
+  // Reader/writer split: select() fast path and the telemetry accessors
+  // read shared; sweep adoption, preseed and quarantine write exclusive.
+  // Trial sweeps run with the lock dropped, so the timer callback may block
+  // or take its own locks without ordering against tuner.state.
+  mutable aks::SharedMutex mutex_{"tuner.state"};
+  std::map<gemm::GemmShape, std::size_t> cache_ AKS_GUARDED_BY(mutex_);
+  /// Health per candidate (by position in candidates_).
+  std::vector<CandidateHealth> health_ AKS_GUARDED_BY(mutex_);
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> trial_failures_{0};

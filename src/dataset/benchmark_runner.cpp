@@ -4,12 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "faults/injector.hpp"
 #include "gemm/registry.hpp"
@@ -31,11 +32,16 @@ struct RunnerCounters {
   std::atomic<std::uint64_t> cells_fell_back{0};
   std::atomic<std::uint64_t> rows_corrupted{0};
   std::atomic<std::uint64_t> rows_repaired{0};
-  double backoff_seconds = 0.0;  // accumulated under a mutex below
-  std::mutex backoff_mutex;
+  aks::Mutex backoff_mutex{"dataset.backoff"};
+  double backoff_seconds AKS_GUARDED_BY(backoff_mutex) = 0.0;
 
   void flush(common::MetricsRegistry* metrics) {
     if (metrics == nullptr) return;
+    double backoff = 0.0;
+    {
+      aks::MutexLock lock(backoff_mutex);
+      backoff = backoff_seconds;
+    }
     metrics->counter("runner.launch_failures").add(launch_failures.load());
     metrics->counter("runner.hangs").add(hangs.load());
     metrics->counter("runner.timing_nans").add(timing_nans.load());
@@ -44,7 +50,7 @@ struct RunnerCounters {
     metrics->counter("runner.cells_fell_back").add(cells_fell_back.load());
     metrics->counter("runner.rows_corrupted").add(rows_corrupted.load());
     metrics->counter("runner.rows_repaired").add(rows_repaired.load());
-    metrics->accumulator("runner.backoff_seconds").add(backoff_seconds);
+    metrics->accumulator("runner.backoff_seconds").add(backoff);
   }
 };
 
@@ -87,7 +93,7 @@ CellMeasurement measure_cell(const perf::TimingModel& timing,
       // Retry with exponential back-off: give a glitching device (or its
       // simulation) time to recover before burning another attempt.
       if (counters != nullptr) {
-        std::lock_guard lock(counters->backoff_mutex);
+        aks::MutexLock lock(counters->backoff_mutex);
         counters->backoff_seconds += backoff;
       }
       if (backoff > 0.0) {
@@ -199,7 +205,7 @@ PerfDataset run_model_benchmarks(const std::vector<LoweredGemm>& shapes,
   std::atomic<std::size_t> done{0};
   // Workers finish rows concurrently; the progress callback is serialized
   // under a mutex so user code (typically stream output) never interleaves.
-  std::mutex progress_mutex;
+  aks::Mutex progress_mutex{"dataset.progress"};
   common::ThreadPool::global().parallel_for(
       shapes.size(), [&](std::size_t r) {
         const gemm::GemmShape& shape = shapes[r].shape;
@@ -251,7 +257,7 @@ PerfDataset run_model_benchmarks(const std::vector<LoweredGemm>& shapes,
           }
         }
         if (options.progress) {
-          std::lock_guard lock(progress_mutex);
+          aks::MutexLock lock(progress_mutex);
           const std::size_t d =
               done.fetch_add(1, std::memory_order_relaxed) + 1;
           options.progress(d, shapes.size());

@@ -3,9 +3,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "trace/trace.hpp"
 
 namespace aks::faults {
@@ -16,8 +17,8 @@ namespace {
 // shared_ptr under the same mutex — cheap next to the model evaluation or
 // kernel run every probe sits beside. The bool flag keeps the common
 // no-plan case to one relaxed atomic load with no locking at all.
-std::mutex g_plan_mutex;
-std::shared_ptr<const FaultPlan> g_plan;          // guarded by g_plan_mutex
+aks::Mutex g_plan_mutex{"faults.plan"};
+std::shared_ptr<const FaultPlan> g_plan AKS_GUARDED_BY(g_plan_mutex);
 std::atomic<bool> g_plan_armed{false};            // any non-zero rate
 std::atomic<bool> g_env_checked{false};
 
@@ -38,7 +39,8 @@ double to_unit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-void set_plan_locked(std::shared_ptr<const FaultPlan> plan) {
+void set_plan_locked(std::shared_ptr<const FaultPlan> plan)
+    AKS_REQUIRES(g_plan_mutex) {
   g_plan = std::move(plan);
   g_plan_armed.store(g_plan != nullptr && g_plan->any_active(),
                      std::memory_order_release);
@@ -47,15 +49,17 @@ void set_plan_locked(std::shared_ptr<const FaultPlan> plan) {
 // Loads AKS_FAULT_PLAN exactly once, the first time anyone asks while no
 // plan is installed. A malformed spec fails loudly: silently running a CI
 // fault job fault-free would be worse than crashing it.
-void maybe_load_env_plan_locked() {
+void maybe_load_env_plan_locked() AKS_REQUIRES(g_plan_mutex) {
   if (g_env_checked.exchange(true)) return;
-  const char* spec = std::getenv("AKS_FAULT_PLAN");
+  // Plan installation happens while the pipeline is quiescent (header
+  // contract), so the getenv cannot race a setenv.
+  const char* spec = std::getenv("AKS_FAULT_PLAN");  // NOLINT(concurrency-mt-unsafe)
   if (spec == nullptr || *spec == '\0') return;
   set_plan_locked(std::make_shared<const FaultPlan>(FaultPlan::parse(spec)));
 }
 
 std::shared_ptr<const FaultPlan> snapshot_plan() {
-  std::lock_guard lock(g_plan_mutex);
+  aks::MutexLock lock(g_plan_mutex);
   maybe_load_env_plan_locked();
   return g_plan;
 }
@@ -63,14 +67,14 @@ std::shared_ptr<const FaultPlan> snapshot_plan() {
 }  // namespace
 
 ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
-  std::lock_guard lock(g_plan_mutex);
+  aks::MutexLock lock(g_plan_mutex);
   maybe_load_env_plan_locked();  // so we restore the env plan on exit
   previous_ = g_plan;
   set_plan_locked(std::make_shared<const FaultPlan>(plan));
 }
 
 ScopedFaultPlan::~ScopedFaultPlan() {
-  std::lock_guard lock(g_plan_mutex);
+  aks::MutexLock lock(g_plan_mutex);
   set_plan_locked(std::move(previous_));
 }
 

@@ -108,7 +108,7 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
   std::shared_ptr<Entry> entry;
   bool leader = false;
   {
-    std::lock_guard lock(shard.m);
+    aks::MutexLock lock(shard.m);
     auto& slot = shard.map[shape];
     if (!slot) {
       slot = std::make_shared<Entry>();
@@ -136,10 +136,10 @@ gemm::KernelConfig SelectionService::select(const gemm::GemmShape& shape) {
   } else {
     coalesced_waits_.add();
     span.annotate(trace::arg("outcome", "coalesced_wait"));
-    std::unique_lock lock(entry->m);
-    entry->cv.wait(lock, [&entry] {
-      return entry->ready.load(std::memory_order_acquire);
-    });
+    aks::MutexLock lock(entry->m);
+    while (!entry->ready.load(std::memory_order_acquire)) {
+      entry->cv.wait(lock);
+    }
   }
   if (entry->error) std::rethrow_exception(entry->error);
   if (entry->fallback) {
@@ -229,7 +229,7 @@ std::vector<gemm::KernelConfig> SelectionService::select_batch(
     Shard& shard = *shards_[shard_index];
     ++shard_groups;
     std::uint64_t local_hits = 0;
-    std::lock_guard lock(shard.m);
+    aks::MutexLock lock(shard.m);
     for (; g < nu && (uniq_hash[order[g]] & shard_mask_) == shard_index; ++g) {
       const std::uint32_t u = order[g];
       auto& slot = shard.map[shapes[uniq_first[u]]];
@@ -309,10 +309,10 @@ std::vector<gemm::KernelConfig> SelectionService::select_batch(
     const std::shared_ptr<Entry>& entry = uentry[u];
     coalesced_waits_.add();
     {
-      std::unique_lock lock(entry->m);
-      entry->cv.wait(lock, [&entry] {
-        return entry->ready.load(std::memory_order_acquire);
-      });
+      aks::MutexLock lock(entry->m);
+      while (!entry->ready.load(std::memory_order_acquire)) {
+        entry->cv.wait(lock);
+      }
     }
     ustate[u] = kDone;
     if (entry->error) {
@@ -404,7 +404,7 @@ std::size_t SelectionService::warm_start(store::SelectionStore& store,
   for (const store::SelectionRecord& record : store.selections()) {
     if (record.device_fingerprint != device_fingerprint_) continue;
     Shard& shard = shard_for(record.shape);
-    std::lock_guard lock(shard.m);
+    aks::MutexLock lock(shard.m);
     auto& slot = shard.map[record.shape];
     if (slot) continue;  // already cached (warm_start called twice)
     slot = std::make_shared<Entry>();
@@ -430,7 +430,7 @@ bool SelectionService::try_transfer_prior(
   const gemm::KernelConfig config =
       gemm::enumerate_configs()[prior->record.config_index];
   {
-    std::lock_guard lock(entry->m);
+    aks::MutexLock lock(entry->m);
     entry->config = config;
     entry->provisional = true;
     entry->ready.store(true, std::memory_order_release);
@@ -481,7 +481,7 @@ void SelectionService::record_to_store(const gemm::GemmShape& shape,
 std::vector<gemm::GemmShape> SelectionService::provisional_shapes() const {
   std::vector<gemm::GemmShape> shapes;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->m);
+    aks::MutexLock lock(shard->m);
     for (const auto& [shape, entry] : shard->map) {
       if (entry->ready.load(std::memory_order_acquire) && entry->provisional) {
         shapes.push_back(shape);
@@ -513,7 +513,7 @@ std::size_t SelectionService::refresh_provisional() {
     fresh->ready.store(true, std::memory_order_release);
     Shard& shard = shard_for(shape);
     {
-      std::lock_guard lock(shard.m);
+      aks::MutexLock lock(shard.m);
       shard.map[shape] = std::move(fresh);
     }
     provisional_refreshes_.add();
@@ -570,7 +570,7 @@ gemm::KernelConfig SelectionService::run_warm_up(
   }
 
   {
-    std::lock_guard lock(entry->m);
+    aks::MutexLock lock(entry->m);
     entry->config = config;
     entry->error = error;
     entry->fallback = degraded;
@@ -582,7 +582,7 @@ gemm::KernelConfig SelectionService::run_warm_up(
     // Drop the failed entry so a later request retries the warm-up;
     // current waiters still observe the published result (error or
     // fallback) through their Entry ref.
-    std::lock_guard lock(shard.m);
+    aks::MutexLock lock(shard.m);
     const auto it = shard.map.find(shape);
     if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
   } else if (store_ != nullptr) {
@@ -618,7 +618,7 @@ gemm::KernelConfig SelectionService::run_warm_up(
 }
 
 void SelectionService::sync_hits() const {
-  std::lock_guard lock(sync_mutex_);
+  aks::MutexLock lock(sync_mutex_);
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->hits.load(std::memory_order_relaxed);
@@ -653,7 +653,7 @@ ServiceStats SelectionService::stats() const {
   stats.batch_wave_shapes = batch_wave_shapes_.value();
   stats.warmup_seconds = warmup_seconds_.value();
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->m);
+    aks::MutexLock lock(shard->m);
     stats.cached_shapes += shard->map.size();
   }
   return stats;

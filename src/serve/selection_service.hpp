@@ -53,19 +53,19 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "gemm/config.hpp"
 #include "gemm/shape.hpp"
 #include "perfmodel/device_spec.hpp"
@@ -224,11 +224,16 @@ class SelectionService {
 
  private:
   struct Entry {
-    std::mutex m;
-    std::condition_variable cv;
+    aks::Mutex m{"serve.entry"};
+    aks::CondVar cv;
     /// Publishes config/error: written once under m, read lock-free by the
     /// hit path after an acquire load.
     std::atomic<bool> ready{false};
+    // config/error/fallback/provisional are deliberately NOT AKS_GUARDED_BY:
+    // their protocol is release/acquire publication through `ready`, which
+    // the static analysis cannot express. Writers hold m and set the fields
+    // before the release-store of ready; the lock-free hit path reads them
+    // only after an acquire-load of ready observes true.
     gemm::KernelConfig config{};
     std::exception_ptr error;
     /// True when `config` is the service-level fallback published after a
@@ -243,8 +248,11 @@ class SelectionService {
   };
 
   struct Shard {
-    mutable std::mutex m;
-    std::unordered_map<gemm::GemmShape, std::shared_ptr<Entry>> map;
+    /// Every stripe shares one lock class: all shards are interchangeable
+    /// for ordering purposes, and no code path nests two shard locks.
+    mutable aks::Mutex m{"serve.shard"};
+    std::unordered_map<gemm::GemmShape, std::shared_ptr<Entry>> map
+        AKS_GUARDED_BY(m);
     /// Hit count striped per shard: a single global hit counter would put
     /// one contended cache line on every cache hit and flatten throughput
     /// scaling. Reconciled into the registry's serve.hits by sync_hits().
@@ -292,10 +300,10 @@ class SelectionService {
   std::uint64_t device_fingerprint_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;
-  mutable std::mutex sync_mutex_;
-  /// Stripe total already folded into hits_; guarded by sync_mutex_ so the
-  /// reconciliation delta never depends on reading hits_ back.
-  mutable std::uint64_t synced_hits_ = 0;
+  mutable aks::Mutex sync_mutex_{"serve.hit_sync"};
+  /// Stripe total already folded into hits_; guarded so the reconciliation
+  /// delta never depends on reading hits_ back.
+  mutable std::uint64_t synced_hits_ AKS_GUARDED_BY(sync_mutex_) = 0;
 
   common::MetricsRegistry metrics_;
   // Resolved once so the hot path never touches the registry lock.

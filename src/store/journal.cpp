@@ -63,8 +63,10 @@ void write_all(int fd, const std::uint8_t* data, std::size_t size,
   std::size_t written = 0;
   while (written < size) {
     const ssize_t n = ::write(fd, data + written, size - written);
+    // strerror: error paths only, and the message is copied into the
+    // exception before any other call could clobber the buffer.
     AKS_CHECK(n > 0, "journal " << path << ": write failed: "
-                                << std::strerror(errno));
+                                << std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     written += static_cast<std::size_t>(n);
   }
 }
@@ -155,6 +157,9 @@ JournalWriter::JournalWriter(std::filesystem::path path)
   // Crash recovery: find the last trustworthy byte and truncate the torn
   // tail (if any) before appending, so new records stay readable.
   const JournalContents existing = read_journal(path_);
+  // The writer is not shared until the constructor returns, but the guarded
+  // members keep their capability contract uniform across all writes.
+  aks::MutexLock lock(mutex_);
   record_index_ = existing.stats.records;
   const bool fresh = !std::filesystem::exists(path_) ||
                      std::filesystem::file_size(path_) == 0;
@@ -166,7 +171,7 @@ JournalWriter::JournalWriter(std::filesystem::path path)
   }
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   AKS_CHECK(fd_ >= 0, "cannot open journal " << path_ << " for append: "
-                                             << std::strerror(errno));
+                                             << std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   if (fresh) {
     const auto header = header_bytes();
     write_all(fd_, header.data(), header.size(), path_);
@@ -179,6 +184,7 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::append(RecordKind kind,
                            const std::vector<std::uint8_t>& payload) {
+  aks::MutexLock lock(mutex_);
   AKS_CHECK(!poisoned_,
             "journal " << path_ << ": writer poisoned by a torn write; "
                           "reopen the journal to recover");

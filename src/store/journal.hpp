@@ -31,6 +31,9 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
 namespace aks::store {
 
 inline constexpr std::uint32_t kJournalVersion = 1;
@@ -84,18 +87,30 @@ class JournalWriter {
   /// Writes one record (framing + CRC) and flushes it to the OS. Throws
   /// common::Error on an injected or real write failure; after an injected
   /// torn write the writer is poisoned (like the process that died) and
-  /// every later append throws — reopen to recover.
-  void append(RecordKind kind, const std::vector<std::uint8_t>& payload);
+  /// every later append throws — reopen to recover. Appends from different
+  /// threads serialize on the writer's own mutex, so the record stream
+  /// never interleaves mid-frame.
+  void append(RecordKind kind, const std::vector<std::uint8_t>& payload)
+      AKS_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t appended() const { return appended_; }
+  [[nodiscard]] std::size_t appended() const {
+    aks::MutexLock lock(mutex_);
+    return appended_;
+  }
 
  private:
   std::filesystem::path path_;
   std::uint64_t path_key_ = 0;  ///< digest of the path, part of fault keys
-  std::size_t record_index_ = 0;  ///< absolute index for deterministic keys
-  std::size_t appended_ = 0;
-  bool poisoned_ = false;
-  int fd_ = -1;
+  // Guards the append-side state (the counters used to be mutated bare and
+  // appended() read them unlocked — the annotation pass pinned that down).
+  // Ordered after store.state: SelectionStore::flush() appends while
+  // holding its own mutex.
+  mutable aks::Mutex mutex_{"store.journal"};
+  /// absolute index for deterministic keys
+  std::size_t record_index_ AKS_GUARDED_BY(mutex_) = 0;
+  std::size_t appended_ AKS_GUARDED_BY(mutex_) = 0;
+  bool poisoned_ AKS_GUARDED_BY(mutex_) = false;
+  int fd_ = -1;  ///< set once in the constructor, immutable afterwards
 };
 
 /// Atomically replaces `path` with a journal holding exactly `records`:

@@ -13,6 +13,10 @@ SelectionStore::SelectionStore(std::filesystem::path path,
                                StoreOptions options)
     : path_(std::move(path)), options_(std::move(options)) {
   const JournalContents contents = read_journal(path_, options_.strict);
+  // No concurrent access is possible during construction, but the replay
+  // below funnels through put_locked(), whose AKS_REQUIRES(mutex_) contract
+  // is checked at every call site — constructors included.
+  aks::MutexLock lock(mutex_);
   stats_.records_loaded = contents.stats.records;
   stats_.corrupt_tail_records = contents.stats.corrupt_tail_records;
   stats_.bytes_dropped = contents.stats.bytes_dropped;
@@ -85,7 +89,7 @@ bool SelectionStore::put_locked(SelectionRecord record, bool from_load) {
 
 std::optional<SelectionRecord> SelectionStore::lookup(
     std::uint64_t device_fingerprint, const gemm::GemmShape& shape) const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   const auto it = selections_.find(Key{device_fingerprint, shape});
   if (it == selections_.end()) return std::nullopt;
   return it->second;
@@ -93,7 +97,7 @@ std::optional<SelectionRecord> SelectionStore::lookup(
 
 std::optional<SelectionStore::TransferPrior> SelectionStore::lookup_transfer(
     const perf::DeviceSpec& device, const gemm::GemmShape& shape) const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   ++stats_.transfer_lookups;
   const std::uint64_t own = device.fingerprint();
   const auto own_features = device.similarity_features();
@@ -124,13 +128,13 @@ std::optional<SelectionStore::TransferPrior> SelectionStore::lookup_transfer(
 }
 
 bool SelectionStore::put(SelectionRecord record) {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   return put_locked(std::move(record), /*from_load=*/false);
 }
 
 std::size_t SelectionStore::put_batch(std::vector<SelectionRecord> records) {
   if (records.empty()) return 0;
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   std::size_t accepted = 0;
   for (SelectionRecord& record : records) {
     if (put_locked(std::move(record), /*from_load=*/false)) ++accepted;
@@ -143,7 +147,7 @@ void SelectionStore::put_device(const perf::DeviceSpec& spec) {
 }
 
 void SelectionStore::put_profile(DeviceProfileRecord profile) {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   const std::uint64_t fingerprint = profile.fingerprint;
   const auto it = devices_.find(fingerprint);
   const bool changed = it == devices_.end() || !(it->second == profile);
@@ -155,7 +159,7 @@ void SelectionStore::put_profile(DeviceProfileRecord profile) {
 }
 
 std::size_t SelectionStore::flush() {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   if (dirty_.empty() && dirty_devices_.empty()) return 0;
 
   trace::Span span;
@@ -217,7 +221,7 @@ std::vector<RawRecord> SelectionStore::live_records_locked() const {
 }
 
 void SelectionStore::compact() {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   trace::Span span;
   if (trace::enabled()) {
     span.arm("store.compact",
@@ -236,7 +240,7 @@ void SelectionStore::compact() {
 }
 
 std::vector<SelectionRecord> SelectionStore::selections() const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   std::vector<SelectionRecord> out;
   out.reserve(selections_.size());
   for (const auto& [key, record] : selections_) out.push_back(record);
@@ -244,7 +248,7 @@ std::vector<SelectionRecord> SelectionStore::selections() const {
 }
 
 std::vector<DeviceProfileRecord> SelectionStore::devices() const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   std::vector<DeviceProfileRecord> out;
   out.reserve(devices_.size());
   for (const auto& [fingerprint, profile] : devices_) out.push_back(profile);
@@ -257,7 +261,7 @@ std::size_t SelectionStore::merge_from(const SelectionStore& other) {
   const auto other_devices = other.devices();
   const auto other_selections = other.selections();
 
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   std::size_t adopted = 0;
   for (const DeviceProfileRecord& profile : other_devices) {
     if (devices_.contains(profile.fingerprint)) continue;
@@ -274,7 +278,7 @@ std::size_t SelectionStore::merge_from(const SelectionStore& other) {
 }
 
 StoreStats SelectionStore::stats() const {
-  std::lock_guard lock(mutex_);
+  aks::MutexLock lock(mutex_);
   StoreStats stats = stats_;
   stats.selections = selections_.size();
   stats.devices = devices_.size();

@@ -30,12 +30,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "gemm/shape.hpp"
 #include "perfmodel/device_spec.hpp"
 #include "store/journal.hpp"
@@ -153,19 +154,25 @@ class SelectionStore {
  private:
   using Key = std::pair<std::uint64_t, gemm::GemmShape>;
 
-  bool put_locked(SelectionRecord record, bool from_load);
-  [[nodiscard]] std::vector<RawRecord> live_records_locked() const;
+  bool put_locked(SelectionRecord record, bool from_load)
+      AKS_REQUIRES(mutex_);
+  [[nodiscard]] std::vector<RawRecord> live_records_locked() const
+      AKS_REQUIRES(mutex_);
 
   std::filesystem::path path_;
   StoreOptions options_;
 
-  mutable std::mutex mutex_;
-  std::map<Key, SelectionRecord> selections_;
-  std::map<std::uint64_t, DeviceProfileRecord> devices_;
-  std::vector<Key> dirty_;                  ///< selection keys to flush
-  std::vector<std::uint64_t> dirty_devices_;  ///< profile keys to flush
+  // Lock order: store.state ("store.state") before the journal's own
+  // store.journal mutex — flush()/compact() append while holding mutex_.
+  mutable aks::Mutex mutex_{"store.state"};
+  std::map<Key, SelectionRecord> selections_ AKS_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, DeviceProfileRecord> devices_ AKS_GUARDED_BY(mutex_);
+  /// selection keys to flush
+  std::vector<Key> dirty_ AKS_GUARDED_BY(mutex_);
+  /// profile keys to flush
+  std::vector<std::uint64_t> dirty_devices_ AKS_GUARDED_BY(mutex_);
   /// mutable: const lookups still count (transfer_lookups/hits telemetry).
-  mutable StoreStats stats_;
+  mutable StoreStats stats_ AKS_GUARDED_BY(mutex_);
 };
 
 }  // namespace aks::store

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/ring_buffer.hpp"
 
@@ -17,17 +18,19 @@ std::atomic<bool> g_enabled{false};
 }  // namespace detail
 
 struct TraceSession::Impl {
+  /// Immutable after the constructor installs the session; read without the
+  /// lock by ring registration.
   TraceOptions options;
-  mutable std::mutex mutex;
+  mutable aks::Mutex mutex{"trace.impl"};
   /// Rings are co-owned by the session and the emitting thread's TLS slot,
   /// so neither a late-emitting thread nor an early-destroyed session can
   /// leave the other with a dangling ring.
-  std::vector<std::shared_ptr<EventRing>> rings;
-  std::uint32_t next_tid = 1;
+  std::vector<std::shared_ptr<EventRing>> rings AKS_GUARDED_BY(mutex);
+  std::uint32_t next_tid AKS_GUARDED_BY(mutex) = 1;
   /// Node-based so c_str() pointers stay stable for the session lifetime.
-  std::set<std::string, std::less<>> interned;
-  std::vector<Event> drained;
-  bool drained_valid = false;
+  std::set<std::string, std::less<>> interned AKS_GUARDED_BY(mutex);
+  std::vector<Event> drained AKS_GUARDED_BY(mutex);
+  bool drained_valid AKS_GUARDED_BY(mutex) = false;
 };
 
 namespace {
@@ -36,9 +39,9 @@ namespace {
 // generation counter lets threads detect (un)installs without locking on
 // the hot path — a thread re-registers its ring only when the generation it
 // cached no longer matches.
-std::mutex g_session_mutex;
-TraceSession::Impl* g_impl = nullptr;
-TraceSession* g_owner = nullptr;
+aks::Mutex g_session_mutex{"trace.session"};
+TraceSession::Impl* g_impl AKS_GUARDED_BY(g_session_mutex) = nullptr;
+TraceSession* g_owner AKS_GUARDED_BY(g_session_mutex) = nullptr;
 std::atomic<std::uint64_t> g_generation{0};
 std::atomic<std::uint64_t> g_epoch_ns{0};
 
@@ -70,13 +73,17 @@ EventRing* thread_ring() {
   if (tls.generation != generation) {
     tls.generation = generation;
     tls.ring.reset();
-    std::lock_guard lock(g_session_mutex);
+    aks::MutexLock lock(g_session_mutex);
     if (g_impl != nullptr &&
         detail::g_enabled.load(std::memory_order_acquire) &&
         g_generation.load(std::memory_order_relaxed) == generation) {
-      auto ring = std::make_shared<EventRing>(
-          capacity_events(g_impl->options), g_impl->next_tid++);
-      std::lock_guard rings_lock(g_impl->mutex);
+      // next_tid is Impl state guarded by impl->mutex (it used to be bumped
+      // under g_session_mutex only, which raced against nothing today but
+      // violated the Impl capability contract); assign the tid in the same
+      // critical section that publishes the ring.
+      aks::MutexLock rings_lock(g_impl->mutex);
+      auto ring = std::make_shared<EventRing>(capacity_events(g_impl->options),
+                                              g_impl->next_tid++);
       g_impl->rings.push_back(ring);
       tls.ring = std::move(ring);
     }
@@ -117,7 +124,7 @@ const LaunchAnnotation::Info* LaunchAnnotation::current() {
 TraceSession::TraceSession(TraceOptions options)
     : impl_(std::make_unique<Impl>()) {
   impl_->options = options;
-  std::lock_guard lock(g_session_mutex);
+  aks::MutexLock lock(g_session_mutex);
   AKS_CHECK(g_impl == nullptr,
             "a TraceSession is already active (one per process)");
   g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
@@ -129,7 +136,7 @@ TraceSession::TraceSession(TraceOptions options)
 
 TraceSession::~TraceSession() {
   stop();
-  std::lock_guard lock(g_session_mutex);
+  aks::MutexLock lock(g_session_mutex);
   if (g_impl == impl_.get()) {
     g_impl = nullptr;
     g_owner = nullptr;
@@ -145,13 +152,13 @@ void TraceSession::stop() {
 }
 
 TraceSession* TraceSession::current() {
-  std::lock_guard lock(g_session_mutex);
+  aks::MutexLock lock(g_session_mutex);
   return g_owner;
 }
 
 const std::vector<Event>& TraceSession::events() {
   stop();
-  std::lock_guard lock(impl_->mutex);
+  aks::MutexLock lock(impl_->mutex);
   if (!impl_->drained_valid) {
     for (const auto& ring : impl_->rings) ring->drain_into(impl_->drained);
     std::sort(impl_->drained.begin(), impl_->drained.end(),
@@ -175,7 +182,7 @@ void TraceSession::write_span_summary_csv(std::ostream& out) {
 
 TraceStats TraceSession::stats() const {
   TraceStats stats;
-  std::lock_guard lock(impl_->mutex);
+  aks::MutexLock lock(impl_->mutex);
   stats.threads = impl_->rings.size();
   for (const auto& ring : impl_->rings) {
     stats.recorded += ring->pushed();
@@ -185,7 +192,7 @@ TraceStats TraceSession::stats() const {
 }
 
 const char* TraceSession::intern(std::string_view s) {
-  std::lock_guard lock(impl_->mutex);
+  aks::MutexLock lock(impl_->mutex);
   const auto it = impl_->interned.find(s);
   if (it != impl_->interned.end()) return it->c_str();
   return impl_->interned.emplace(s).first->c_str();

@@ -110,6 +110,26 @@ TEST(ThreadPool, NestedExceptionPropagates) {
   });
 }
 
+// Regression (found by the thread-safety annotation pass): the final read
+// of a job's stored exception happened outside the error mutex, racing the
+// chunk that stores it. Repeated throwing loops under contention must
+// always rethrow the stored exception with its message intact.
+TEST(ThreadPool, ThrownErrorMessageAlwaysIntact) {
+  with_watchdog([] {
+    common::ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+      try {
+        pool.parallel_for(64, [&](std::size_t i) {
+          if (i % 16 == 0) throw std::runtime_error("intact-error-text");
+        });
+        FAIL() << "parallel_for must rethrow the chunk's exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "intact-error-text");
+      }
+    }
+  });
+}
+
 // The exact shape of the historical deadlock: time_host_run constructs a
 // syclrt::Queue and launches a kernel, which dispatches work-groups on the
 // *global* pool — from inside a loop already running on the global pool

@@ -1,0 +1,33 @@
+// Negative test: reads an AKS_GUARDED_BY member without holding its mutex.
+// This file MUST FAIL to compile under
+// `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety`
+// (-Wthread-safety-analysis: reading variable requires holding mutex). The
+// harness control (thread_safety_control.cpp) proves a clean file passes,
+// so a pass here means the analysis silently stopped firing.
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    aks::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BAD: no lock held, no AKS_REQUIRES — the analysis must reject this.
+  [[nodiscard]] int value() const { return value_; }
+
+ private:
+  mutable aks::Mutex mutex_{"compile_fail.counter"};
+  int value_ AKS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.value();
+}

@@ -1,0 +1,20 @@
+// Negative test: calls an AKS_REQUIRES(mutex) function without holding the
+// mutex. This file MUST FAIL to compile under
+// `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety`
+// (-Wthread-safety-analysis: calling function requires holding mutex).
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+aks::Mutex g_mutex{"compile_fail.state"};
+int g_state AKS_GUARDED_BY(g_mutex) = 0;
+
+void mutate_locked() AKS_REQUIRES(g_mutex) { ++g_state; }
+
+}  // namespace
+
+int main() {
+  mutate_locked();  // BAD: caller does not hold g_mutex
+  return g_state == 1 ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -249,6 +250,36 @@ TEST(StoreJournal, BitFlipFuzzNeverYieldsSilentCorruption) {
       // Also acceptable: structural damage detected and reported.
     }
   }
+  std::filesystem::remove(path);
+}
+
+// Regression (found by the thread-safety annotation pass): appended() read
+// the counter bare while concurrent append() calls incremented it under
+// the writer mutex. Concurrent appenders plus a polling reader must agree
+// on the final count, and every record must land intact.
+TEST(StoreJournal, ConcurrentAppendsKeepExactAppendedCount) {
+  const auto path = temp_path("concurrent_count.aks");
+  std::filesystem::remove(path);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 32;
+  {
+    JournalWriter writer(path);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&writer, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          std::vector<std::uint8_t> payload;
+          encode(sample_selection(t * kPerThread + i), payload);
+          writer.append(RecordKind::kSelection, payload);
+          (void)writer.appended();  // polled concurrently with appends
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(writer.appended(), kThreads * kPerThread);
+  }
+  const auto contents = read_journal(path, /*strict=*/true);
+  EXPECT_EQ(contents.records.size(), kThreads * kPerThread);
   std::filesystem::remove(path);
 }
 

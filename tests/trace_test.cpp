@@ -5,10 +5,12 @@
 // the span-summary CSV including its unbalanced-span accounting.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -335,6 +337,32 @@ TEST(TraceConcurrency, SpanNestingBalancedAcrossThreads) {
     }
   }
   for (const auto& [tid, stack] : stacks) EXPECT_TRUE(stack.empty());
+}
+
+// Regression (found by the thread-safety annotation pass): the tid counter
+// was incremented under the session mutex but the ring was registered under
+// the impl mutex, so two threads racing their first event could be handed
+// the same tid. All first events are released together to maximize attach
+// races; every thread must drain under a distinct tid.
+TEST(TraceConcurrency, ConcurrentFirstEventsGetUniqueTids) {
+  TraceSession session;
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      instant("attach");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<std::uint32_t> tids;
+  for (const Event& e : session.events()) {
+    if (std::string(e.name) == "attach") tids.insert(e.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
 }
 
 TEST(TraceExport, ChromeJsonParsesBack) {

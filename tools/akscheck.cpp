@@ -15,10 +15,16 @@
 //                                    races, tails and device capacity, with
 //                                    SAFE/UNSAFE/UNKNOWN certificates and a
 //                                    --differential cross-check against the
-//                                    dynamic replay.
+//                                    dynamic replay;
+//   lock order         (locks)       drive the serving stack (thread pool,
+//                                    tuner, service, store, trace, faults)
+//                                    from many threads and validate the
+//                                    observed lock-order graph: no cycles,
+//                                    no lock held across a condition wait.
 //
 // With no pass flags, --registry and --lint both run. Exit status: 0 clean,
 // 1 findings, 2 usage error.
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <stdexcept>
@@ -28,6 +34,8 @@
 #include "check/checked_conv.hpp"
 #include "check/checked_gemm.hpp"
 #include "check/config_lint.hpp"
+#include "check/lock_drill.hpp"
+#include "check/lockdep.hpp"
 #include "check/report_json.hpp"
 #include "check/symbolic/certificate.hpp"
 #include "common/error.hpp"
@@ -43,7 +51,10 @@ struct Args {
   bool lint = false;
   bool conv = false;
   bool certify = false;
+  bool locks = false;
   bool differential = false;
+  std::size_t threads = 8;
+  std::size_t requests = 64;
   std::string devices = "all";
   std::string report;
   std::string format = "csv";
@@ -97,6 +108,13 @@ Args parse_args(int argc, char** argv) {
       args.conv = true;
     } else if (token == "certify" || token == "--certify") {
       args.certify = true;
+    } else if (token == "locks" || token == "--locks") {
+      args.locks = true;
+    } else if (token == "--threads") {
+      args.threads = parse_size(value(), "--threads");
+      AKS_CHECK(args.threads > 0, "--threads must be positive");
+    } else if (token == "--requests") {
+      args.requests = parse_size(value(), "--requests");
     } else if (token == "--differential") {
       args.differential = true;
     } else if (token == "--verbose") {
@@ -107,8 +125,10 @@ Args parse_args(int argc, char** argv) {
       args.report = value();
     } else if (token == "--format") {
       args.format = value();
-      AKS_CHECK(args.format == "csv" || args.format == "json",
-                "--format must be csv or json, got '" << args.format << "'");
+      AKS_CHECK(args.format == "csv" || args.format == "json" ||
+                    args.format == "dot",
+                "--format must be csv, json or dot, got '" << args.format
+                                                           << "'");
     } else if (token == "--samples") {
       args.samples = parse_size(value(), "--samples");
     } else if (token == "--max-configs") {
@@ -132,12 +152,18 @@ Args parse_args(int argc, char** argv) {
       AKS_FAIL("unknown option '" << token << "'");
     }
   }
-  if (!args.registry && !args.lint && !args.conv && !args.certify) {
+  if (!args.registry && !args.lint && !args.conv && !args.certify &&
+      !args.locks) {
     args.registry = true;
     args.lint = true;
   }
   AKS_CHECK(!args.differential || args.certify,
             "--differential requires the certify pass");
+  AKS_CHECK(args.format != "dot" || args.locks,
+            "--format dot is only valid for the locks pass");
+  AKS_CHECK(!(args.locks && args.format == "csv" && !args.report.empty()) ||
+                args.lint || args.certify,
+            "locks reports are dot or json; pass --format dot|json");
   return args;
 }
 
@@ -279,6 +305,49 @@ int run(const Args& args) {
     }
   }
 
+  if (args.locks) {
+    check::LockDrillOptions options;
+    options.threads = args.threads;
+    options.requests_per_thread = args.requests;
+    const auto report = check::run_lock_drill(options);
+    std::cout << "[locks] " << report.classes.size() << " lock classes, "
+              << report.edges.size() << " order edges: "
+              << report.cycles.size() << " cycle(s), "
+              << report.held_while_blocking.size()
+              << " held-while-blocking violation(s)\n";
+    for (const auto& cycle : report.cycles) {
+      std::cout << "  CYCLE ";
+      for (const auto& name : cycle.names) std::cout << name << " -> ";
+      std::cout << cycle.names.front() << "\n";
+    }
+    for (const auto& violation : report.held_while_blocking) {
+      std::cout << "  HELD-WHILE-BLOCKING wait on " << violation.blocked_on
+                << " holding {";
+      for (std::size_t i = 0; i < violation.held.size(); ++i) {
+        std::cout << (i > 0 ? ", " : "") << violation.held[i];
+      }
+      std::cout << "} x" << violation.count << "\n";
+    }
+    if (args.verbose) {
+      for (const auto& edge : report.edges) {
+        std::cout << "  " << edge.from_name << " -> " << edge.to_name << " x"
+                  << edge.count << "\n";
+      }
+    }
+    if (!args.report.empty()) {
+      std::ofstream out(args.report);
+      AKS_CHECK(out.is_open(), "cannot open " << args.report);
+      if (args.format == "dot") {
+        check::lockdep::write_dot(report, out);
+      } else {
+        check::lockdep::write_json(report, out);
+      }
+      std::cout << "[locks] report written to " << args.report << "\n";
+    }
+    total_findings +=
+        report.cycles.size() + report.held_while_blocking.size();
+  }
+
   if (args.conv) {
     const auto summary = check::check_conv_lowerings(args.conv_stride);
     std::cout << "[conv] " << summary.configs_checked << " configs, "
@@ -302,13 +371,15 @@ int run(const Args& args) {
 
 void print_usage() {
   std::cerr <<
-      "usage: akscheck [certify] [passes] [options]\n"
+      "usage: akscheck [certify|locks] [passes] [options]\n"
       "passes (default: --registry --lint):\n"
       "  --registry          checked replay of the GEMM kernel zoo\n"
       "  --lint              config validity vs device execution limits\n"
       "  --conv              checked replay of the conv lowerings\n"
       "  certify             symbolic SAFE/UNSAFE/UNKNOWN certificates for\n"
       "                      every configuration, over all shapes\n"
+      "  locks               drive the serving stack concurrently and\n"
+      "                      validate the observed lock-order graph\n"
       "options:\n"
       "  --devices all|r9nano,embedded,igpu   lint/certify targets\n"
       "  --shapes MxKxN,...  registry shape corpus (default built-in)\n"
@@ -317,9 +388,12 @@ void print_usage() {
       "  --differential      certify: cross-check certificates against\n"
       "                      sampled dynamic replays\n"
       "  --samples N         differential: configs to sample (0 = all)\n"
-      "  --report <path>     write the lint/certify report\n"
-      "  --format csv|json   report format (default csv)\n"
-      "  --verbose           print every finding\n";
+      "  --threads N         locks: worker threads (default 8)\n"
+      "  --requests N        locks: requests per thread (default 64)\n"
+      "  --report <path>     write the lint/certify/locks report\n"
+      "  --format csv|json|dot  report format (default csv; dot is\n"
+      "                      locks-only)\n"
+      "  --verbose           print every finding / every order edge\n";
 }
 
 }  // namespace
